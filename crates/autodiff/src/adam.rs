@@ -1,0 +1,162 @@
+//! The Adam optimizer (Kingma & Ba 2015) — the update rule the paper uses
+//! for its trainable logits.
+
+use crate::graph::{Graph, VarId};
+
+/// Adam state over a graph's trainable parameters.
+///
+/// Create it **after** all [`Graph::param`] calls: the moment buffers are
+/// sized from the parameter list at construction.
+///
+/// # Examples
+///
+/// ```
+/// use dgr_autodiff::{Adam, Graph};
+///
+/// let mut g = Graph::new();
+/// let w = g.param(vec![5.0]);
+/// let sq = g.mul(w, w);
+/// let loss = g.sum_all(sq);
+/// let mut adam = Adam::new(&g, 0.5);
+/// for _ in 0..200 {
+///     g.forward();
+///     g.backward(loss);
+///     adam.step(&mut g);
+/// }
+/// assert!(g.value(w)[0].abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    params: Vec<VarId>,
+}
+
+impl Adam {
+    /// Creates an optimizer with the standard moments
+    /// (`β₁ = 0.9, β₂ = 0.999, ε = 1e−8`) over `graph`'s current
+    /// parameters.
+    pub fn new(graph: &Graph, lr: f32) -> Self {
+        let params = graph.params().to_vec();
+        let m = params.iter().map(|&p| vec![0.0; graph.len_of(p)]).collect();
+        let v = params.iter().map(|&p| vec![0.0; graph.len_of(p)]).collect();
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m,
+            v,
+            params,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    /// Updates the learning rate (e.g. for decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update using the gradients currently stored in
+    /// `graph` (i.e. call after [`Graph::backward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` gained parameters after this optimizer was built.
+    pub fn step(&mut self, graph: &mut Graph) {
+        assert_eq!(
+            graph.params().len(),
+            self.params.len(),
+            "graph parameters changed after Adam construction"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (k, &p) in self.params.iter().enumerate() {
+            let grad = graph.grad(p).to_vec();
+            let m = &mut self.m[k];
+            let v = &mut self.v[k];
+            let data = graph.data_mut(p);
+            for i in 0..data.len() {
+                let g = grad[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Segments;
+    use std::sync::Arc;
+
+    #[test]
+    fn minimizes_a_convex_bowl() {
+        let mut g = Graph::new();
+        let w = g.param(vec![3.0, -4.0]);
+        let sq = g.mul(w, w);
+        let loss = g.sum_all(sq);
+        let mut adam = Adam::new(&g, 0.3);
+        let mut last = f32::INFINITY;
+        for i in 0..300 {
+            g.forward();
+            if i % 50 == 0 {
+                assert!(g.value(loss)[0] <= last + 1e-3);
+                last = g.value(loss)[0];
+            }
+            g.backward(loss);
+            adam.step(&mut g);
+        }
+        g.forward();
+        assert!(g.value(loss)[0] < 1e-3);
+    }
+
+    #[test]
+    fn pushes_softmax_to_cheapest_choice() {
+        // 3 choices with costs [5, 1, 3]: probability mass must land on 1.
+        let mut g = Graph::new();
+        let w = g.param(vec![0.0, 0.0, 0.0]);
+        let seg = Arc::new(Segments::from_offsets(vec![0, 3]).unwrap());
+        let p = g.segmented_softmax(w, seg);
+        let loss = g.dot_const(p, Arc::new(vec![5.0, 1.0, 3.0]));
+        let mut adam = Adam::new(&g, 0.2);
+        for _ in 0..400 {
+            g.forward();
+            g.backward(loss);
+            adam.step(&mut g);
+        }
+        g.forward();
+        assert!(g.value(p)[1] > 0.95, "probabilities {:?}", g.value(p));
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut g = Graph::new();
+        let _ = g.param(vec![0.0]);
+        let mut adam = Adam::new(&g, 0.5);
+        assert_eq!(adam.learning_rate(), 0.5);
+        adam.set_learning_rate(0.1);
+        assert_eq!(adam.learning_rate(), 0.1);
+        assert_eq!(adam.steps(), 0);
+    }
+}

@@ -1,0 +1,649 @@
+//! The op tape: build once, re-execute every training iteration.
+
+use std::sync::Arc;
+
+use crate::activation::Activation;
+use crate::ops::Op;
+use crate::segments::Segments;
+use crate::AutodiffError;
+
+/// Handle to a tape variable (a dense `f32` buffer plus its gradient).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Dense index into the tape.
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A statically-shaped computation graph over dense `f32` buffers.
+///
+/// Nodes are appended in topological order by construction — every op's
+/// inputs must already exist. [`Graph::forward`] recomputes all values in
+/// one sweep, [`Graph::backward`] accumulates gradients in a reverse
+/// sweep. The graph is built **once** per routing problem and re-executed
+/// every iteration (leaf buffers like Gumbel noise and the temperature are
+/// updated in place via [`Graph::set_data`]), mirroring how DGR reuses its
+/// PyTorch graph across iterations.
+///
+/// # Examples
+///
+/// ```
+/// use dgr_autodiff::Graph;
+/// use std::sync::Arc;
+///
+/// let mut g = Graph::new();
+/// let x = g.param(vec![1.0, 2.0, 3.0]);
+/// let y = g.scale(x, 2.0);
+/// let loss = g.sum_all(y);
+/// g.forward();
+/// assert_eq!(g.value(loss)[0], 12.0);
+/// g.backward(loss);
+/// assert_eq!(g.grad(x), &[2.0, 2.0, 2.0]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Op>,
+    lens: Vec<usize>,
+    vals: Vec<Vec<f32>>,
+    grads: Vec<Vec<f32>>,
+    params: Vec<VarId>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    fn push(&mut self, op: Op, len: usize) -> VarId {
+        let id = VarId(self.nodes.len() as u32);
+        self.nodes.push(op);
+        self.lens.push(len);
+        self.vals.push(vec![0.0; len]);
+        self.grads.push(vec![0.0; len]);
+        id
+    }
+
+    /// Adds a **trainable** leaf initialized with `data`. Trainable leaves
+    /// are what [`crate::Adam`] updates.
+    pub fn param(&mut self, data: Vec<f32>) -> VarId {
+        let len = data.len();
+        let id = self.push(Op::Leaf { trainable: true }, len);
+        self.vals[id.index()] = data;
+        self.params.push(id);
+        id
+    }
+
+    /// Adds a non-trainable leaf (noise buffers, the temperature scalar).
+    pub fn input(&mut self, data: Vec<f32>) -> VarId {
+        let len = data.len();
+        let id = self.push(Op::Leaf { trainable: false }, len);
+        self.vals[id.index()] = data;
+        id
+    }
+
+    /// Elementwise sum. # Errors — [`AutodiffError::ShapeMismatch`] if
+    /// lengths differ.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        self.check_same_len(a, b);
+        let len = self.lens[a.index()];
+        self.push(Op::Add { a, b }, len)
+    }
+
+    /// Elementwise product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        self.check_same_len(a, b);
+        let len = self.lens[a.index()];
+        self.push(Op::Mul { a, b }, len)
+    }
+
+    /// Multiplies by a compile-time constant scalar.
+    pub fn scale(&mut self, x: VarId, k: f32) -> VarId {
+        let len = self.lens[x.index()];
+        self.push(Op::Scale { x, k }, len)
+    }
+
+    /// Adds a constant vector (e.g. `−capacity` to turn demand into
+    /// overflow input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn add_const(&mut self, x: VarId, c: Arc<Vec<f32>>) -> VarId {
+        assert_eq!(self.lens[x.index()], c.len(), "add_const length mismatch");
+        let len = c.len();
+        self.push(Op::AddConst { x, c }, len)
+    }
+
+    /// Multiplies elementwise by a constant vector (e.g. per-edge β
+    /// weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn mul_const(&mut self, x: VarId, c: Arc<Vec<f32>>) -> VarId {
+        assert_eq!(self.lens[x.index()], c.len(), "mul_const length mismatch");
+        let len = c.len();
+        self.push(Op::MulConst { x, c }, len)
+    }
+
+    /// Divides by a length-1 variable (the annealing temperature). No
+    /// gradient flows into the scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is not length 1.
+    pub fn div_by_scalar(&mut self, x: VarId, s: VarId) -> VarId {
+        assert_eq!(self.lens[s.index()], 1, "temperature must be a scalar");
+        let len = self.lens[x.index()];
+        self.push(Op::DivByScalarVar { x, s }, len)
+    }
+
+    /// Softmax normalized within each CSR segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment table does not cover exactly `x`'s length.
+    pub fn segmented_softmax(&mut self, x: VarId, seg: Arc<Segments>) -> VarId {
+        assert_eq!(
+            self.lens[x.index()],
+            seg.len(),
+            "segment table does not cover input"
+        );
+        let len = seg.len();
+        self.push(Op::SegSoftmax { x, seg }, len)
+    }
+
+    /// `out[i] = x[idx[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for `x`.
+    pub fn gather(&mut self, x: VarId, idx: Arc<Vec<u32>>) -> VarId {
+        let xlen = self.lens[x.index()];
+        assert!(
+            idx.iter().all(|&i| (i as usize) < xlen),
+            "gather index out of range"
+        );
+        let len = idx.len();
+        self.push(Op::Gather { x, idx }, len)
+    }
+
+    /// `out[j] = Σ x[i]` over entries with `idx[i] == j`; output length
+    /// `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != x.len()` or any index `≥ len`.
+    pub fn scatter_add(&mut self, x: VarId, idx: Arc<Vec<u32>>, len: usize) -> VarId {
+        assert_eq!(self.lens[x.index()], idx.len(), "scatter length mismatch");
+        assert!(
+            idx.iter().all(|&i| (i as usize) < len),
+            "scatter index out of range"
+        );
+        self.push(Op::ScatterAdd { x, idx }, len)
+    }
+
+    /// Applies an elementwise [`Activation`].
+    pub fn activate(&mut self, x: VarId, kind: Activation) -> VarId {
+        let len = self.lens[x.index()];
+        self.push(Op::Activate { x, kind }, len)
+    }
+
+    /// Scalar sum of all elements.
+    pub fn sum_all(&mut self, x: VarId) -> VarId {
+        self.push(Op::SumAll { x }, 1)
+    }
+
+    /// Scalar dot product with a constant weight vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot_const(&mut self, x: VarId, w: Arc<Vec<f32>>) -> VarId {
+        assert_eq!(self.lens[x.index()], w.len(), "dot_const length mismatch");
+        self.push(Op::DotConst { x, w }, 1)
+    }
+
+    /// Scalar linear combination `Σ k_j · x_j` of scalar variables — the
+    /// final `a1·WL + a2·via + a3·overflow` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any term is not a scalar.
+    pub fn combine(&mut self, terms: Vec<(VarId, f32)>) -> VarId {
+        for (v, _) in &terms {
+            assert_eq!(self.lens[v.index()], 1, "combine needs scalar terms");
+        }
+        self.push(Op::Combine { terms }, 1)
+    }
+
+    fn check_same_len(&self, a: VarId, b: VarId) {
+        assert_eq!(
+            self.lens[a.index()],
+            self.lens[b.index()],
+            "operand length mismatch"
+        );
+    }
+
+    /// Current value buffer of `v` (valid after [`Graph::forward`]).
+    pub fn value(&self, v: VarId) -> &[f32] {
+        &self.vals[v.index()]
+    }
+
+    /// Current gradient buffer of `v` (valid after [`Graph::backward`]).
+    pub fn grad(&self, v: VarId) -> &[f32] {
+        &self.grads[v.index()]
+    }
+
+    /// Mutable access to a **leaf** buffer (noise, temperature,
+    /// warm-started logits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a leaf — interior node values are derived.
+    pub fn data_mut(&mut self, v: VarId) -> &mut [f32] {
+        assert!(
+            matches!(self.nodes[v.index()], Op::Leaf { .. }),
+            "data_mut on non-leaf"
+        );
+        &mut self.vals[v.index()]
+    }
+
+    /// Replaces a leaf's contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a leaf or `data` has the wrong length.
+    pub fn set_data(&mut self, v: VarId, data: &[f32]) {
+        let dst = self.data_mut(v);
+        assert_eq!(dst.len(), data.len(), "set_data length mismatch");
+        dst.copy_from_slice(data);
+    }
+
+    /// The trainable leaves, in creation order.
+    pub fn params(&self) -> &[VarId] {
+        &self.params
+    }
+
+    /// Whether `v` is a trainable leaf (i.e. receives optimizer updates).
+    pub fn is_trainable(&self, v: VarId) -> bool {
+        matches!(self.nodes[v.index()], Op::Leaf { trainable: true })
+    }
+
+    /// Length of variable `v`.
+    pub fn len_of(&self, v: VarId) -> usize {
+        self.lens[v.index()]
+    }
+
+    /// Number of tape nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total bytes held in value + gradient buffers — the "device memory"
+    /// figure reported in the scalability study (Fig. 5b analogue).
+    pub fn bytes(&self) -> usize {
+        self.lens.iter().sum::<usize>() * 8
+    }
+
+    /// Recomputes every node value in topological order.
+    pub fn forward(&mut self) {
+        for i in 0..self.nodes.len() {
+            if matches!(self.nodes[i], Op::Leaf { .. }) {
+                continue;
+            }
+            let (head, tail) = self.vals.split_at_mut(i);
+            let out = &mut tail[0];
+            let op = &self.nodes[i];
+            let get = |v: VarId| -> &[f32] { &head[v.index()] };
+            op.forward(&get, out);
+        }
+    }
+
+    /// Accumulates `∂loss/∂v` into every gradient buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar.
+    pub fn backward(&mut self, loss: VarId) {
+        assert_eq!(self.lens[loss.index()], 1, "loss must be scalar");
+        for g in &mut self.grads {
+            g.fill(0.0);
+        }
+        self.grads[loss.index()][0] = 1.0;
+        for i in (0..self.nodes.len()).rev() {
+            // Split so that input gradients (indices < i) are mutable while
+            // the output gradient (index i) is readable.
+            let (gin, gtail) = self.grads.split_at_mut(i);
+            let gout: &[f32] = &gtail[0];
+            if gout.iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let vals = &self.vals;
+            match &self.nodes[i] {
+                Op::Leaf { .. } => {}
+                Op::Add { a, b } => {
+                    axpy(&mut gin[a.index()], gout, 1.0);
+                    axpy(&mut gin[b.index()], gout, 1.0);
+                }
+                Op::Mul { a, b } => {
+                    let (xa, xb) = (&vals[a.index()], &vals[b.index()]);
+                    if a == b {
+                        let ga = &mut gin[a.index()];
+                        for i in 0..ga.len() {
+                            ga[i] += 2.0 * gout[i] * xa[i];
+                        }
+                    } else {
+                        {
+                            let ga = &mut gin[a.index()];
+                            for i in 0..ga.len() {
+                                ga[i] += gout[i] * xb[i];
+                            }
+                        }
+                        let gb = &mut gin[b.index()];
+                        for i in 0..gb.len() {
+                            gb[i] += gout[i] * xa[i];
+                        }
+                    }
+                }
+                Op::Scale { x, k } => axpy(&mut gin[x.index()], gout, *k),
+                Op::AddConst { x, .. } => axpy(&mut gin[x.index()], gout, 1.0),
+                Op::MulConst { x, c } => {
+                    let gx = &mut gin[x.index()];
+                    for i in 0..gx.len() {
+                        gx[i] += gout[i] * c[i];
+                    }
+                }
+                Op::DivByScalarVar { x, s } => {
+                    let inv = 1.0 / vals[s.index()][0];
+                    axpy(&mut gin[x.index()], gout, inv);
+                }
+                Op::SegSoftmax { x, seg } => {
+                    let p = &self.vals[i];
+                    let gx = &mut gin[x.index()];
+                    for s in 0..seg.num_segments() {
+                        let r = seg.segment(s);
+                        let dot: f32 = gout[r.clone()]
+                            .iter()
+                            .zip(&p[r.clone()])
+                            .map(|(g, p)| g * p)
+                            .sum();
+                        for j in r {
+                            gx[j] += p[j] * (gout[j] - dot);
+                        }
+                    }
+                }
+                Op::Gather { x, idx } => {
+                    crate::parallel::par_scatter_add(&mut gin[x.index()], idx, gout);
+                }
+                Op::ScatterAdd { x, idx, .. } => {
+                    let gx = &mut gin[x.index()];
+                    for j in 0..gx.len() {
+                        gx[j] += gout[idx[j] as usize];
+                    }
+                }
+                Op::Activate { x, kind } => {
+                    let xv = &vals[x.index()];
+                    let gx = &mut gin[x.index()];
+                    for i in 0..gx.len() {
+                        gx[i] += gout[i] * kind.grad(xv[i]);
+                    }
+                }
+                Op::SumAll { x } => {
+                    let g = gout[0];
+                    for v in gin[x.index()].iter_mut() {
+                        *v += g;
+                    }
+                }
+                Op::DotConst { x, w } => {
+                    let g = gout[0];
+                    let gx = &mut gin[x.index()];
+                    for i in 0..gx.len() {
+                        gx[i] += g * w[i];
+                    }
+                }
+                Op::Combine { terms } => {
+                    let g = gout[0];
+                    for (v, k) in terms {
+                        gin[v.index()][0] += g * k;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn axpy(dst: &mut [f32], src: &[f32], k: f32) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += k * s;
+    }
+}
+
+/// Validates index tables against a target length — the fallible precursor
+/// to [`Graph::gather`] / [`Graph::scatter_add`] for untrusted input.
+///
+/// # Errors
+///
+/// Returns [`AutodiffError::IndexOutOfRange`] on the first bad index.
+pub fn check_indices(idx: &[u32], len: usize) -> Result<(), AutodiffError> {
+    for &i in idx {
+        if i as usize >= len {
+            return Err(AutodiffError::IndexOutOfRange { index: i, len });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_loss<F>(g: &mut Graph, w: VarId, loss: VarId, build_eval: F) -> Vec<f32>
+    where
+        F: Fn(&mut Graph) -> f32,
+    {
+        let h = 1e-3;
+        let n = g.len_of(w);
+        let mut grads = Vec::with_capacity(n);
+        for i in 0..n {
+            let orig = g.value(w)[i];
+            g.data_mut(w)[i] = orig + h;
+            let up = build_eval(g);
+            g.data_mut(w)[i] = orig - h;
+            let dn = build_eval(g);
+            g.data_mut(w)[i] = orig;
+            grads.push((up - dn) / (2.0 * h));
+        }
+        let _ = loss;
+        grads
+    }
+
+    #[test]
+    fn add_mul_scale_forward() {
+        let mut g = Graph::new();
+        let a = g.param(vec![1.0, 2.0]);
+        let b = g.input(vec![3.0, 4.0]);
+        let s = g.add(a, b);
+        let m = g.mul(s, s);
+        let y = g.scale(m, 0.5);
+        g.forward();
+        assert_eq!(g.value(y), &[8.0, 18.0]);
+    }
+
+    #[test]
+    fn gradient_of_quadratic() {
+        // loss = Σ (w + c)² → dw = 2(w + c)
+        let mut g = Graph::new();
+        let w = g.param(vec![1.0, -2.0, 0.5]);
+        let c = Arc::new(vec![0.5, 1.0, -1.0]);
+        let shifted = g.add_const(w, c.clone());
+        let sq = g.mul(shifted, shifted);
+        let loss = g.sum_all(sq);
+        g.forward();
+        g.backward(loss);
+        for i in 0..3 {
+            let want = 2.0 * (g.value(w)[i] + c[i]);
+            assert!((g.grad(w)[i] - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_gradients() {
+        // demand[e] = Σ paths through e; loss = Σ demand² — classic DGR shape
+        let mut g = Graph::new();
+        let w = g.param(vec![0.3, 0.7, 0.1, 0.9]);
+        let idx = Arc::new(vec![0u32, 1, 1, 2]);
+        let d = g.scatter_add(w, idx.clone(), 3);
+        let sq = g.mul(d, d);
+        let loss = g.sum_all(sq);
+        g.forward();
+        g.backward(loss);
+        // d = [0.3, 0.8, 0.9]; dw_i = 2·d[idx[i]]
+        let d_vals = [0.3f32, 0.8, 0.9];
+        for i in 0..4 {
+            let want = 2.0 * d_vals[idx[i] as usize];
+            assert!((g.grad(w)[i] - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gather_forward_and_grad() {
+        let mut g = Graph::new();
+        let w = g.param(vec![1.0, 2.0]);
+        let idx = Arc::new(vec![0u32, 0, 1]);
+        let y = g.gather(w, idx);
+        let loss = g.sum_all(y);
+        g.forward();
+        assert_eq!(g.value(y), &[1.0, 1.0, 2.0]);
+        g.backward(loss);
+        assert_eq!(g.grad(w), &[2.0, 1.0]); // index 0 gathered twice
+    }
+
+    #[test]
+    fn segmented_softmax_normalizes_per_group() {
+        let mut g = Graph::new();
+        let w = g.param(vec![1.0, 2.0, 0.0, 0.0, 5.0]);
+        let seg = Arc::new(Segments::from_offsets(vec![0, 2, 5]).unwrap());
+        let p = g.segmented_softmax(w, seg);
+        g.forward();
+        let v = g.value(p);
+        assert!((v[0] + v[1] - 1.0).abs() < 1e-6);
+        assert!((v[2] + v[3] + v[4] - 1.0).abs() < 1e-6);
+        assert!(v[4] > 0.9); // logit 5 dominates its group
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_difference() {
+        let build = || {
+            let mut g = Graph::new();
+            let w = g.param(vec![0.2, -0.4, 0.9, 0.1]);
+            let seg = Arc::new(Segments::from_offsets(vec![0, 2, 4]).unwrap());
+            let p = g.segmented_softmax(w, seg);
+            let cost = Arc::new(vec![1.0, 3.0, -2.0, 0.5]);
+            let loss = g.dot_const(p, cost);
+            (g, w, loss)
+        };
+        let (mut g, w, loss) = build();
+        g.forward();
+        g.backward(loss);
+        let analytic: Vec<f32> = g.grad(w).to_vec();
+        let numeric = finite_diff_loss(&mut g, w, loss, |g| {
+            g.forward();
+            g.value(loss)[0]
+        });
+        for (a, n) in analytic.iter().zip(&numeric) {
+            assert!((a - n).abs() < 1e-3, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn activation_gradients_flow() {
+        for kind in Activation::ALL {
+            let mut g = Graph::new();
+            let w = g.param(vec![-1.5, -0.2, 0.4, 2.0]);
+            let y = g.activate(w, kind);
+            let loss = g.sum_all(y);
+            g.forward();
+            g.backward(loss);
+            let analytic = g.grad(w).to_vec();
+            let numeric = finite_diff_loss(&mut g, w, loss, |g| {
+                g.forward();
+                g.value(loss)[0]
+            });
+            for (i, (a, n)) in analytic.iter().zip(&numeric).enumerate() {
+                assert!(
+                    (a - n).abs() < 2e-2,
+                    "{kind}: grad[{i}] analytic {a} vs numeric {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn div_by_scalar_temperature() {
+        let mut g = Graph::new();
+        let w = g.param(vec![2.0, 4.0]);
+        let t = g.input(vec![2.0]);
+        let y = g.div_by_scalar(w, t);
+        let loss = g.sum_all(y);
+        g.forward();
+        assert_eq!(g.value(y), &[1.0, 2.0]);
+        g.backward(loss);
+        assert_eq!(g.grad(w), &[0.5, 0.5]);
+        // temperature receives no gradient
+        assert_eq!(g.grad(t), &[0.0]);
+        // updating the leaf changes the next forward
+        g.set_data(t, &[4.0]);
+        g.forward();
+        assert_eq!(g.value(y), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn combine_weights_scalars() {
+        let mut g = Graph::new();
+        let a = g.param(vec![1.0]);
+        let b = g.param(vec![2.0]);
+        let sa = g.sum_all(a);
+        let sb = g.sum_all(b);
+        let loss = g.combine(vec![(sa, 0.5), (sb, 4.0)]);
+        g.forward();
+        assert_eq!(g.value(loss)[0], 0.5 + 8.0);
+        g.backward(loss);
+        assert_eq!(g.grad(a), &[0.5]);
+        assert_eq!(g.grad(b), &[4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data_mut on non-leaf")]
+    fn data_mut_rejects_interior_nodes() {
+        let mut g = Graph::new();
+        let a = g.param(vec![1.0]);
+        let y = g.scale(a, 2.0);
+        let _ = g.data_mut(y);
+    }
+
+    #[test]
+    fn check_indices_reports_offender() {
+        assert!(check_indices(&[0, 1, 2], 3).is_ok());
+        assert_eq!(
+            check_indices(&[0, 5], 3),
+            Err(AutodiffError::IndexOutOfRange { index: 5, len: 3 })
+        );
+    }
+
+    #[test]
+    fn bytes_accounts_values_and_grads() {
+        let mut g = Graph::new();
+        let a = g.param(vec![0.0; 100]);
+        let _ = g.scale(a, 1.0);
+        assert_eq!(g.bytes(), 200 * 8);
+    }
+}

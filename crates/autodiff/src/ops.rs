@@ -1,0 +1,166 @@
+//! Op definitions and their forward/backward slice kernels.
+//!
+//! Each op reads input value slices and writes one output slice (forward),
+//! or reads the output cotangent and accumulates into input cotangents
+//! (backward). Kernels above the parallel threshold shard across worker
+//! threads via [`crate::parallel`].
+
+use std::sync::Arc;
+
+use crate::activation::Activation;
+use crate::graph::VarId;
+use crate::parallel::{par_map_mut, par_scatter_add};
+use crate::segments::Segments;
+
+/// A node in the tape. Inputs always precede the node itself, so a single
+/// in-order sweep computes the forward pass and a reverse sweep the
+/// backward pass.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
+    /// An input buffer; `trainable` leaves receive Adam updates.
+    Leaf { trainable: bool },
+    /// `out = a + b` (elementwise, equal lengths).
+    Add { a: VarId, b: VarId },
+    /// `out = a * b` (elementwise, equal lengths).
+    Mul { a: VarId, b: VarId },
+    /// `out = k · x`.
+    Scale { x: VarId, k: f32 },
+    /// `out = x + c` for a constant vector `c`.
+    AddConst { x: VarId, c: Arc<Vec<f32>> },
+    /// `out = x ⊙ c` for a constant vector `c`.
+    MulConst { x: VarId, c: Arc<Vec<f32>> },
+    /// `out = x / s[0]` where `s` is a length-1 variable (no gradient is
+    /// propagated to `s`; it is the annealing temperature).
+    DivByScalarVar { x: VarId, s: VarId },
+    /// Softmax within each CSR segment.
+    SegSoftmax { x: VarId, seg: Arc<Segments> },
+    /// `out[i] = x[idx[i]]`.
+    Gather { x: VarId, idx: Arc<Vec<u32>> },
+    /// `out[j] = Σ_{i: idx[i]=j} x[i]` (output length fixed at creation).
+    ScatterAdd { x: VarId, idx: Arc<Vec<u32>> },
+    /// Elementwise activation.
+    Activate { x: VarId, kind: Activation },
+    /// Scalar `out = Σ_i x[i]`.
+    SumAll { x: VarId },
+    /// Scalar `out = Σ_i x[i]·w[i]` for a constant weight vector.
+    DotConst { x: VarId, w: Arc<Vec<f32>> },
+    /// Scalar `out = Σ_j k_j · x_j[0]` over scalar inputs.
+    Combine { terms: Vec<(VarId, f32)> },
+}
+
+impl Op {
+    /// Forward kernel: reads `get(v)` for inputs, fills `out`.
+    pub(crate) fn forward<'a>(&self, get: &dyn Fn(VarId) -> &'a [f32], out: &mut [f32]) {
+        match self {
+            Op::Leaf { .. } => {}
+            Op::Add { a, b } => {
+                let (xa, xb) = (get(*a), get(*b));
+                par_map_mut(out, |i, v| *v = xa[i] + xb[i]);
+            }
+            Op::Mul { a, b } => {
+                let (xa, xb) = (get(*a), get(*b));
+                par_map_mut(out, |i, v| *v = xa[i] * xb[i]);
+            }
+            Op::Scale { x, k } => {
+                let x = get(*x);
+                let k = *k;
+                par_map_mut(out, |i, v| *v = k * x[i]);
+            }
+            Op::AddConst { x, c } => {
+                let x = get(*x);
+                par_map_mut(out, |i, v| *v = x[i] + c[i]);
+            }
+            Op::MulConst { x, c } => {
+                let x = get(*x);
+                par_map_mut(out, |i, v| *v = x[i] * c[i]);
+            }
+            Op::DivByScalarVar { x, s } => {
+                let x = get(*x);
+                let s = get(*s)[0];
+                let inv = 1.0 / s;
+                par_map_mut(out, |i, v| *v = x[i] * inv);
+            }
+            Op::SegSoftmax { x, seg } => {
+                let x = get(*x);
+                for s in 0..seg.num_segments() {
+                    let r = seg.segment(s);
+                    softmax_into(&x[r.clone()], &mut out[r]);
+                }
+            }
+            Op::Gather { x, idx } => {
+                let x = get(*x);
+                par_map_mut(out, |i, v| *v = x[idx[i] as usize]);
+            }
+            Op::ScatterAdd { x, idx, .. } => {
+                let x = get(*x);
+                out.fill(0.0);
+                par_scatter_add(out, idx, x);
+            }
+            Op::Activate { x, kind } => {
+                let x = get(*x);
+                let kind = *kind;
+                par_map_mut(out, |i, v| *v = kind.eval(x[i]));
+            }
+            Op::SumAll { x } => {
+                out[0] = get(*x).iter().sum();
+            }
+            Op::DotConst { x, w } => {
+                out[0] = get(*x).iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+            }
+            Op::Combine { terms } => {
+                out[0] = terms.iter().map(|(v, k)| k * get(*v)[0]).sum();
+            }
+        }
+    }
+}
+
+/// Numerically-stable softmax of `x` into `out` (same length).
+pub(crate) fn softmax_into(x: &[f32], out: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (o, &v) in out.iter_mut().zip(x) {
+        let e = (v - max).exp();
+        *o = e;
+        sum += e;
+    }
+    let inv = 1.0 / sum;
+    for o in out.iter_mut() {
+        *o *= inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut out = vec![0.0; 4];
+        softmax_into(&[1.0, 2.0, 3.0, 4.0], &mut out);
+        let sum: f32 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![0.0; 3];
+        let mut b = vec![0.0; 3];
+        softmax_into(&[1.0, 2.0, 3.0], &mut a);
+        softmax_into(&[101.0, 102.0, 103.0], &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let mut out = vec![0.0; 2];
+        softmax_into(&[1000.0, 0.0], &mut out);
+        assert!((out[0] - 1.0).abs() < 1e-6);
+        assert!(out.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,201 @@
+//! Multi-threaded CPU kernels — the GPU-substitution layer.
+//!
+//! The paper runs its tensor ops as CUDA kernels. Here, each dense op
+//! shards its output across scoped worker threads (crossbeam). Reductions
+//! into shared targets (scatter-add) use per-thread partial buffers merged
+//! in thread order, so results are **bit-reproducible for a fixed thread
+//! count** — no atomics, no scheduling-dependent float ordering (CUDA
+//! atomics give neither). Across *different* thread counts the summation
+//! order changes, so results agree only up to float associativity.
+//!
+//! Below [`PAR_THRESHOLD`] elements the sequential path is used; thread
+//! spawn overhead dominates for small tensors.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum number of elements before an op fans out to worker threads.
+pub const PAR_THRESHOLD: usize = 1 << 15;
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads dense kernels will use.
+///
+/// Defaults to the machine's available parallelism; override (e.g. in
+/// determinism tests) with [`set_num_threads`].
+pub fn num_threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Overrides the worker-thread count (0 restores the default).
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Applies `f(global_index, &mut out[i])` over `out` in parallel chunks.
+///
+/// `f` must be pure per element — the index-to-value mapping cannot depend
+/// on other output elements.
+pub fn par_map_mut<F>(out: &mut [f32], f: F)
+where
+    F: Fn(usize, &mut f32) + Sync,
+{
+    let threads = num_threads();
+    if out.len() < PAR_THRESHOLD || threads <= 1 {
+        for (i, v) in out.iter_mut().enumerate() {
+            f(i, v);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = c * chunk;
+                for (i, v) in slice.iter_mut().enumerate() {
+                    f(base + i, v);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel scatter-add: `out[idx[i]] += vals[i]` for all `i`.
+///
+/// Parallelized with per-thread partial output buffers merged in thread
+/// order, so the result is deterministic. Falls back to the sequential
+/// loop for small inputs (or when partial buffers would cost more than
+/// they save).
+///
+/// # Panics
+///
+/// Panics if `idx.len() != vals.len()` or any index is out of range
+/// (callers validate indices at graph-construction time).
+pub fn par_scatter_add(out: &mut [f32], idx: &[u32], vals: &[f32]) {
+    assert_eq!(idx.len(), vals.len(), "scatter operands disagree");
+    let threads = num_threads();
+    // Partial buffers cost threads × out.len() writes; only profitable for
+    // large entry counts relative to the output size.
+    if idx.len() < PAR_THRESHOLD || threads <= 1 || out.len() * threads > idx.len() * 4 {
+        for (&i, &v) in idx.iter().zip(vals) {
+            out[i as usize] += v;
+        }
+        return;
+    }
+    let chunk = idx.len().div_ceil(threads);
+    let mut partials: Vec<Vec<f32>> = Vec::with_capacity(threads);
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..threads {
+            let lo = c * chunk;
+            if lo >= idx.len() {
+                break;
+            }
+            let hi = (lo + chunk).min(idx.len());
+            let (idx, vals) = (&idx[lo..hi], &vals[lo..hi]);
+            let len = out.len();
+            handles.push(scope.spawn(move |_| {
+                let mut part = vec![0.0f32; len];
+                for (&i, &v) in idx.iter().zip(vals) {
+                    part[i as usize] += v;
+                }
+                part
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("scatter worker panicked"));
+        }
+    })
+    .expect("worker thread panicked");
+    for part in partials {
+        for (o, p) in out.iter_mut().zip(part) {
+            *o += p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let mut a = vec![0.0f32; 100_000];
+        let mut b = vec![0.0f32; 100_000];
+        par_map_mut(&mut a, |i, v| *v = (i as f32).sin());
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i as f32).sin();
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scatter_add_matches_sequential() {
+        let n = 200_000;
+        let idx: Vec<u32> = (0..n).map(|i| ((i * 7919) % 1000) as u32).collect();
+        let vals: Vec<f32> = (0..n).map(|i| (i % 13) as f32 * 0.5).collect();
+        set_num_threads(3); // force the partial-buffer path
+        let mut par = vec![0.0f32; 1000];
+        par_scatter_add(&mut par, &idx, &vals);
+        set_num_threads(0);
+        let mut seq = vec![0.0f32; 1000];
+        for (&i, &v) in idx.iter().zip(&vals) {
+            seq[i as usize] += v;
+        }
+        // summation order differs → equality up to float associativity
+        for (p, s) in par.iter().zip(&seq) {
+            assert!((p - s).abs() <= 1e-3 * s.abs().max(1.0), "{p} vs {s}");
+        }
+    }
+
+    #[test]
+    fn scatter_add_empty_is_noop() {
+        let mut out = vec![1.0f32; 4];
+        par_scatter_add(&mut out, &[], &[]);
+        assert_eq!(out, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn thread_override_roundtrip() {
+        set_num_threads(2);
+        assert_eq!(num_threads(), 2);
+        set_num_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    /// Forces the multi-threaded code path (the host may have one core):
+    /// repeated runs at a fixed thread count are bit-identical, and
+    /// different counts agree up to float associativity. Pure maps carry
+    /// no reduction, so they are bit-identical across counts too.
+    #[test]
+    fn determinism_across_runs_and_thread_counts() {
+        let n = 300_000;
+        let idx: Vec<u32> = (0..n).map(|i| ((i * 31 + 7) % 5000) as u32).collect();
+        let vals: Vec<f32> = (0..n).map(|i| ((i % 97) as f32) * 0.37).collect();
+        let run = |threads: usize| {
+            set_num_threads(threads);
+            let mut out = vec![0.0f32; 5000];
+            par_scatter_add(&mut out, &idx, &vals);
+            let mut mapped = vec![0.0f32; n];
+            par_map_mut(&mut mapped, |i, v| *v = vals[i] * 2.0 + 1.0);
+            set_num_threads(0);
+            (out, mapped)
+        };
+        let (scatter4a, map4a) = run(4);
+        let (scatter4b, map4b) = run(4);
+        assert_eq!(scatter4a, scatter4b, "same thread count must be bit-stable");
+        assert_eq!(map4a, map4b);
+        let (scatter1, map1) = run(1);
+        assert_eq!(map1, map4a, "maps have no reduction: bit-identical");
+        for (a, b) in scatter1.iter().zip(&scatter4a) {
+            assert!((a - b).abs() <= 0.01 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion end-to-end benchmarks: one DGR training iteration and the
+//! full routing pipelines on a small catalog case.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgr_autodiff::Adam;
+use dgr_baseline::{LagrangianRouter, SequentialRouter, SprouteRouter};
+use dgr_core::{build_cost_model, DgrConfig, DgrRouter};
+use dgr_io::{IspdLikeConfig, IspdLikeGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_design() -> dgr_grid::Design {
+    IspdLikeGenerator::new(IspdLikeConfig {
+        width: 48,
+        height: 48,
+        num_nets: 500,
+        ..IspdLikeConfig::default()
+    })
+    .generate()
+    .expect("valid config")
+}
+
+fn bench_train_iteration(c: &mut Criterion) {
+    let design = small_design();
+    let cfg = DgrConfig::default();
+    let mut rng = StdRng::seed_from_u64(0);
+    let pools: Vec<_> = design
+        .nets
+        .iter()
+        .map(|n| dgr_rsmt::tree_candidates(&n.pins, &cfg.candidates).expect("pins"))
+        .collect();
+    let forest = dgr_dag::build_forest(&design.grid, &pools, cfg.patterns).expect("in grid");
+    let mut model = build_cost_model(&design, &forest, &cfg, &mut rng);
+    let mut adam = Adam::new(&model.graph, cfg.learning_rate);
+    c.bench_function("dgr_train_iteration_500_nets", |b| {
+        b.iter(|| {
+            model.graph.forward();
+            model.graph.backward(model.loss);
+            adam.step(&mut model.graph);
+        })
+    });
+}
+
+fn bench_full_routers(c: &mut Criterion) {
+    let design = small_design();
+    let mut group = c.benchmark_group("full_route_500_nets");
+    group.sample_size(10);
+    group.bench_function("dgr_100_iters", |b| {
+        b.iter(|| {
+            let mut cfg = DgrConfig::default();
+            cfg.iterations = 100;
+            DgrRouter::new(cfg).route(&design).expect("routable")
+        })
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            SequentialRouter::default()
+                .route(&design)
+                .expect("routable")
+        })
+    });
+    group.bench_function("sproute", |b| {
+        b.iter(|| SprouteRouter::default().route(&design).expect("routable"))
+    });
+    group.bench_function("lagrangian", |b| {
+        b.iter(|| {
+            LagrangianRouter::default()
+                .route(&design)
+                .expect("routable")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_train_iteration, bench_full_routers
+}
+criterion_main!(benches);

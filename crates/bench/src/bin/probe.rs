@@ -1,0 +1,35 @@
+//! Calibration probe: reports the congestion regime of every catalog
+//! case under the sequential baseline so capacities can be tuned to the
+//! paper's "barely infeasible" sweet spot. Not part of any table.
+//!
+//! ```text
+//! cargo run -p dgr-bench --release --bin probe [--fast]
+//! ```
+
+use dgr_baseline::SequentialRouter;
+use dgr_bench::{fast_flag, generate_case, run_baseline};
+use dgr_io::{congested_cases, ispd18_cases};
+
+fn main() {
+    let fast = fast_flag();
+    println!(
+        "{:<14} {:>7} {:>9} | {:>9} {:>12} {:>8} | {:>10} {:>10}",
+        "case", "nets", "edges", "ovf edges", "total ovf", "peak", "WL", "t(s)"
+    );
+    for case in congested_cases().into_iter().chain(ispd18_cases()) {
+        let design = generate_case(case.config.clone(), fast).expect("generate");
+        let r = run_baseline(&design, |d| SequentialRouter::default().route(d)).expect("route");
+        let m = &r.solution.metrics;
+        println!(
+            "{:<14} {:>7} {:>9} | {:>9} {:>12.1} {:>8.2} | {:>10} {:>10.1}",
+            case.name,
+            design.num_nets(),
+            design.grid.num_edges(),
+            m.overflow.overflowed_edges,
+            m.overflow.total_overflow,
+            m.overflow.peak_overflow,
+            m.total_wirelength,
+            r.runtime.as_secs_f64(),
+        );
+    }
+}

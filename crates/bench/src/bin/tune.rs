@@ -1,0 +1,85 @@
+//! Variant tuner: compares DGR configuration variants against the
+//! sequential baseline on one congested case. Calibration tool, not a
+//! paper artifact.
+//!
+//! ```text
+//! cargo run -p dgr-bench --release --bin tune [--fast] [case]
+//! ```
+
+use dgr_baseline::SequentialRouter;
+use dgr_bench::{dgr_config, fast_flag, generate_case, run_baseline, run_dgr};
+use dgr_io::catalog_case;
+use dgr_rsmt::CandidateConfig;
+
+fn main() {
+    let fast = fast_flag();
+    let name = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "ispd19_7m".to_owned());
+    let case = catalog_case(&name).expect("known case");
+    let design = generate_case(case.config.clone(), fast).expect("generate");
+
+    let seq = run_baseline(&design, |d| SequentialRouter::default().route(d)).expect("seq");
+    println!(
+        "{:<22} | {:>9} {:>12} {:>9} {:>8}",
+        "variant", "ovf", "WL", "vias", "t(s)"
+    );
+    println!(
+        "{:<22} | {:>9} {:>12} {:>9} {:>8.1}",
+        "sequential",
+        seq.overflow_edges(),
+        seq.wirelength(),
+        seq.vias(),
+        seq.runtime.as_secs_f64()
+    );
+
+    let base = dgr_config(fast, 7);
+    let variants: Vec<(String, dgr_core::DgrConfig)> = vec![
+        ("default".into(), base.clone()),
+        ("scale2".into(), {
+            let mut c = base.clone();
+            c.overflow_scale = 2.0;
+            c
+        }),
+        ("scale4".into(), {
+            let mut c = base.clone();
+            c.overflow_scale = 4.0;
+            c
+        }),
+        ("1tree".into(), {
+            let mut c = base.clone();
+            c.candidates = CandidateConfig::single();
+            c
+        }),
+        ("1tree+scale4".into(), {
+            let mut c = base.clone();
+            c.candidates = CandidateConfig::single();
+            c.overflow_scale = 4.0;
+            c
+        }),
+        ("scale4+lr0.1".into(), {
+            let mut c = base.clone();
+            c.overflow_scale = 4.0;
+            c.learning_rate = 0.1;
+            c
+        }),
+        ("scale4+topp0.99".into(), {
+            let mut c = base.clone();
+            c.overflow_scale = 4.0;
+            c.extraction = dgr_core::ExtractionMode::TopP { threshold: 0.99 };
+            c
+        }),
+    ];
+    for (name, cfg) in variants {
+        let r = run_dgr(&design, cfg).expect("dgr");
+        println!(
+            "{:<22} | {:>9} {:>12} {:>9} {:>8.1}",
+            name,
+            r.overflow_edges(),
+            r.wirelength(),
+            r.vias(),
+            r.runtime.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Shared experiment-harness utilities for the table/figure binaries.
+//!
+//! Each paper table or figure has a dedicated binary in `src/bin/`:
+//!
+//! | binary    | reproduces | contents |
+//! |-----------|-----------|----------|
+//! | `table1`  | Table 1   | DGR vs exact ILP on the synthetic protocol |
+//! | `table2`  | Table 2   | DGR vs the CUGR2-style router on congested 5-layer cases |
+//! | `table3`  | Table 3   | DGR vs SPRoute-style and Lagrangian routers on ispd18 cases |
+//! | `fig5`    | Fig. 5a/b | runtime and memory vs net count |
+//! | `fig6`    | Fig. 6    | overflow-activation study |
+//! | `ablation`| (extra)   | Gumbel / annealing / top-p / candidate-count ablations |
+//!
+//! Every binary accepts `--fast` (shrunk workloads for smoke runs) and
+//! prints the paper-style rows to stdout.
+
+use std::time::{Duration, Instant};
+
+use dgr_core::{DgrConfig, DgrRouter, RoutingSolution};
+use dgr_grid::Design;
+use dgr_io::{IspdLikeConfig, IspdLikeGenerator};
+use dgr_post::{assign_layers, refine, AssignConfig, Assigned3d, RefineConfig};
+
+/// A routed case with post-processing applied: the quantities every table
+/// reports.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// The refined 2D solution.
+    pub solution: RoutingSolution,
+    /// The layer assignment (vias, 3D overflow, n₁).
+    pub assigned: Assigned3d,
+    /// Wall-clock routing time (excl. generation, incl. training).
+    pub runtime: Duration,
+}
+
+impl PipelineResult {
+    /// Overflowed g-cell edges of the 2D solution (the paper's
+    /// "# G-cell edges w/ overflow" column, CUGR2 metric).
+    pub fn overflow_edges(&self) -> usize {
+        self.solution.metrics.overflow.overflowed_edges
+    }
+
+    /// Total wirelength (edge units).
+    pub fn wirelength(&self) -> u64 {
+        self.solution.metrics.total_wirelength
+    }
+
+    /// Via count after layer assignment.
+    pub fn vias(&self) -> u64 {
+        self.assigned.total_vias
+    }
+
+    /// The Fig. 6 weighted overflow
+    /// `10·n₁ + 1000·n₂ + 10000·peak`.
+    pub fn weighted_overflow(&self) -> f64 {
+        10.0 * self.assigned.overflowed_nets as f64
+            + 1000.0 * self.overflow_edges() as f64
+            + 10_000.0 * self.solution.metrics.overflow.peak_overflow as f64
+    }
+}
+
+/// Runs the full DGR pipeline (route → refine → layer-assign).
+///
+/// # Errors
+///
+/// Returns a boxed error if any stage fails.
+pub fn run_dgr(
+    design: &Design,
+    config: DgrConfig,
+) -> Result<PipelineResult, Box<dyn std::error::Error>> {
+    let start = Instant::now();
+    let mut solution = DgrRouter::new(config).route(design)?;
+    refine(design, &mut solution, RefineConfig::default())?;
+    let runtime = start.elapsed();
+    let assigned = assign_layers(design, &solution, assign_cfg(design))?;
+    Ok(PipelineResult {
+        solution,
+        assigned,
+        runtime,
+    })
+}
+
+/// Runs a baseline router closure through the same refinement and layer
+/// assignment as DGR, so every column is measured identically.
+///
+/// # Errors
+///
+/// Returns a boxed error if any stage fails.
+pub fn run_baseline<F>(
+    design: &Design,
+    route: F,
+) -> Result<PipelineResult, Box<dyn std::error::Error>>
+where
+    F: FnOnce(&Design) -> Result<RoutingSolution, dgr_baseline::BaselineError>,
+{
+    let start = Instant::now();
+    let mut solution = route(design)?;
+    refine(design, &mut solution, RefineConfig::default())?;
+    let runtime = start.elapsed();
+    let assigned = assign_layers(design, &solution, assign_cfg(design))?;
+    Ok(PipelineResult {
+        solution,
+        assigned,
+        runtime,
+    })
+}
+
+fn assign_cfg(design: &Design) -> AssignConfig {
+    let _ = design;
+    AssignConfig::default()
+}
+
+/// Generates a catalog case, optionally shrunk by `--fast`.
+pub fn generate_case(
+    mut config: IspdLikeConfig,
+    fast: bool,
+) -> Result<Design, Box<dyn std::error::Error>> {
+    if fast {
+        // shrink nets ×4 and area ×4 together: net density, cluster density
+        // and relative cluster spread — hence the congestion regime — are
+        // all preserved
+        let f = 4.0f64;
+        config.num_nets = ((config.num_nets as f64 / f) as usize).max(50);
+        config.width = ((config.width as f64 / f.sqrt()).round() as u32).max(20);
+        config.height = ((config.height as f64 / f.sqrt()).round() as u32).max(20);
+        config.cluster_spread /= f.sqrt();
+        config.clusters = ((config.clusters as f64 / f).round() as usize).max(3);
+    }
+    Ok(IspdLikeGenerator::new(config).generate()?)
+}
+
+/// Whether `--fast` was passed on the command line.
+pub fn fast_flag() -> bool {
+    std::env::args().any(|a| a == "--fast")
+}
+
+/// A DGR config sized for the experiment scale: the paper's 1000
+/// iterations for full runs, 200 for `--fast`. The `DGR_ITERS`
+/// environment variable overrides both (calibration escape hatch).
+pub fn dgr_config(fast: bool, seed: u64) -> DgrConfig {
+    DgrConfig {
+        iterations: std::env::var("DGR_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 200 } else { 1000 }),
+        seed,
+        ..DgrConfig::default()
+    }
+}
+
+/// Formats a ratio row: `other / base` guarded against zero.
+pub fn ratio(other: f64, base: f64) -> f64 {
+    if base == 0.0 {
+        if other == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        other / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_baseline::SequentialRouter;
+
+    #[test]
+    fn pipeline_runs_end_to_end_on_a_small_case() {
+        let design = generate_case(
+            IspdLikeConfig {
+                num_nets: 60,
+                width: 32,
+                height: 32,
+                ..IspdLikeConfig::default()
+            },
+            false,
+        )
+        .unwrap();
+        let mut cfg = dgr_config(true, 0);
+        cfg.iterations = 60;
+        let dgr = run_dgr(&design, cfg).unwrap();
+        let seq = run_baseline(&design, |d| SequentialRouter::default().route(d)).unwrap();
+        assert!(dgr.wirelength() > 0);
+        assert!(seq.wirelength() > 0);
+        assert!(dgr.vias() > 0);
+        assert!(dgr.runtime > Duration::ZERO);
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert_eq!(ratio(0.0, 0.0), 1.0);
+        assert_eq!(ratio(5.0, 0.0), f64::INFINITY);
+        assert_eq!(ratio(6.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn fast_scaling_preserves_densities() {
+        let base = IspdLikeConfig {
+            width: 120,
+            height: 120,
+            num_nets: 8000,
+            clusters: 100,
+            cluster_spread: 12.0,
+            ..IspdLikeConfig::default()
+        };
+        let full = generate_case(base.clone(), false).unwrap();
+        let fast_cfg = {
+            // re-derive the shrunk config to compare densities
+            let mut c = base.clone();
+            let f = 4.0f64;
+            c.num_nets = ((c.num_nets as f64 / f) as usize).max(50);
+            c.width = ((c.width as f64 / f.sqrt()).round() as u32).max(20);
+            c.height = ((c.height as f64 / f.sqrt()).round() as u32).max(20);
+            c
+        };
+        let fast = generate_case(base, true).unwrap();
+        assert_eq!(fast.num_nets(), fast_cfg.num_nets);
+        let density = |d: &Design| {
+            d.num_nets() as f64 / (d.grid.width() as f64 * d.grid.height() as f64)
+        };
+        let rel = (density(&fast) - density(&full)).abs() / density(&full);
+        assert!(rel < 0.1, "net density drifted {rel:.3} under --fast");
+    }
+}

@@ -1,0 +1,368 @@
+//! Discrete read-out of the optimized probabilities (Section 4.5).
+//!
+//! * **Trees**: the highest-probability candidate per net — after
+//!   temperature annealing these probabilities are close to one-hot.
+//! * **Paths**: top-p candidate sets (rank by probability, take until the
+//!   cumulative mass passes the threshold), then a greedy congestion-aware
+//!   pick inside each set against the demand committed so far. With
+//!   [`ExtractionMode::Argmax`] the set degenerates to the single most
+//!   probable path (the Table-1 read-out).
+
+use dgr_dag::DagForest;
+use dgr_grid::{DemandMap, Design, GcellId};
+
+use crate::config::{DgrConfig, ExtractionMode};
+use crate::relax::CostModel;
+use crate::solution::{NetRoute, RoutePath, RoutingSolution, SolutionMetrics};
+use crate::DgrError;
+
+/// Extracts a discrete 2D solution from a trained model.
+///
+/// Runs one noise-free forward pass at the final annealed temperature,
+/// then realizes the selections net by net, committing demand as it goes
+/// (so later greedy picks see earlier commitments).
+///
+/// # Errors
+///
+/// Propagates grid errors if a realized path leaves the grid (cannot
+/// happen for forests built against the same grid).
+pub fn extract_solution(
+    design: &Design,
+    forest: &DagForest,
+    model: &mut CostModel,
+    cfg: &DgrConfig,
+) -> Result<RoutingSolution, DgrError> {
+    // deterministic read-out: no noise, final temperature
+    let zero_tree = vec![0.0f32; model.graph.len_of(model.noise_tree)];
+    let zero_path = vec![0.0f32; model.graph.len_of(model.noise_path)];
+    model.graph.set_data(model.noise_tree, &zero_tree);
+    model.graph.set_data(model.noise_path, &zero_path);
+    let final_temp = cfg.temperature_at(cfg.iterations.saturating_sub(1));
+    model.graph.set_data(model.temperature, &[final_temp]);
+    model.graph.forward();
+    let q = model.graph.value(model.q).to_vec();
+    let p = model.graph.value(model.p).to_vec();
+
+    let grid = &design.grid;
+    let cap = &design.capacity;
+    let mut demand = DemandMap::new(grid);
+    let mut routes = Vec::with_capacity(forest.num_nets());
+
+    for n in 0..forest.num_nets() {
+        let tree_range = forest.trees_of_net(n);
+        let tree = tree_range
+            .clone()
+            .max_by(|&a, &b| q[a].total_cmp(&q[b]))
+            .expect("net has at least one tree");
+        let mut paths = Vec::new();
+        for s in forest.subnets_of_tree(tree) {
+            let pick = match cfg.extraction {
+                ExtractionMode::Argmax => forest
+                    .paths_of_subnet(s)
+                    .max_by(|&a, &b| p[a].total_cmp(&p[b]))
+                    .expect("subnet has at least one path"),
+                ExtractionMode::TopP { threshold } => {
+                    let set = top_p_set(forest, s, &p, threshold);
+                    greedy_pick(design, forest, cfg, &demand, &set)
+                }
+            };
+            let route = realize_path(grid, forest, s, pick);
+            commit(grid, &mut demand, &route)?;
+            paths.push(route);
+        }
+        routes.push(NetRoute {
+            net: n,
+            tree,
+            paths,
+        });
+    }
+
+    // rip-up/re-pick rounds: nets over congested edges re-choose their
+    // paths greedily over the full candidate set of their selected tree
+    for _ in 0..cfg.extraction_rounds {
+        let over: Vec<bool> = grid
+            .edge_ids()
+            .map(|e| demand.total(grid, cap, e) > cap.capacity(e) + 1e-4)
+            .collect();
+        let victims: Vec<usize> = (0..routes.len())
+            .filter(|&n| {
+                routes[n].paths.iter().any(|p| {
+                    p.corners.windows(2).any(|w| {
+                        let mut edges = Vec::new();
+                        grid.push_segment_edges(w[0], w[1], &mut edges)
+                            .map(|()| edges.iter().any(|e| over[e.index()]))
+                            .unwrap_or(false)
+                    })
+                })
+            })
+            .collect();
+        if victims.is_empty() {
+            break;
+        }
+        for &n in &victims {
+            // rip up
+            for path in &routes[n].paths {
+                uncommit(grid, &mut demand, path)?;
+            }
+            // re-pick over all candidates of the selected tree
+            let tree = routes[n].tree;
+            let mut paths = Vec::with_capacity(routes[n].paths.len());
+            for s in forest.subnets_of_tree(tree) {
+                let set: Vec<usize> = forest.paths_of_subnet(s).collect();
+                let pick = greedy_pick(design, forest, cfg, &demand, &set);
+                let route = realize_path(grid, forest, s, pick);
+                commit(grid, &mut demand, &route)?;
+                paths.push(route);
+            }
+            routes[n].paths = paths;
+        }
+    }
+
+    let mut solution = RoutingSolution {
+        routes,
+        demand,
+        metrics: SolutionMetrics {
+            total_wirelength: 0,
+            total_turns: 0,
+            overflow: Default::default(),
+        },
+        train_report: None,
+    };
+    solution.remeasure(design)?;
+    Ok(solution)
+}
+
+/// The top-p candidate set of subnet `s`: paths in descending probability
+/// until the cumulative mass passes `threshold` (always ≥ 1 path).
+fn top_p_set(forest: &DagForest, s: usize, p: &[f32], threshold: f32) -> Vec<usize> {
+    let mut ranked: Vec<usize> = forest.paths_of_subnet(s).collect();
+    ranked.sort_by(|&a, &b| p[b].total_cmp(&p[a]));
+    let mut cum = 0.0f32;
+    let mut set = Vec::new();
+    for i in ranked {
+        set.push(i);
+        cum += p[i];
+        if cum >= threshold {
+            break;
+        }
+    }
+    set
+}
+
+/// Greedy pick inside a top-p set: minimize the marginal discrete cost
+/// against the demand committed so far.
+fn greedy_pick(
+    design: &Design,
+    forest: &DagForest,
+    cfg: &DgrConfig,
+    demand: &DemandMap,
+    set: &[usize],
+) -> usize {
+    let grid = &design.grid;
+    let cap = &design.capacity;
+    let sqrt_l = (design.num_layers as f32).sqrt();
+    let mut best = set[0];
+    let mut best_cost = f32::INFINITY;
+    for &i in set {
+        let mut cost = cfg.weights.wirelength * forest.path_wirelength(i)
+            + cfg.weights.via * sqrt_l * forest.path_turn_count(i);
+        // marginal wire overflow along the path's edges
+        for &e in forest.path_edges(i) {
+            let e = dgr_grid::EdgeId(e);
+            let d = demand.total(grid, cap, e);
+            let c = cap.capacity(e);
+            cost += cfg.weights.overflow * ((d + 1.0 - c).max(0.0) - (d - c).max(0.0));
+        }
+        // marginal via-pressure overflow around the turn cells
+        for &v in forest.path_vias(i) {
+            let cell = GcellId(v);
+            let point = grid.cell_point(cell);
+            let share = 0.5 * cap.beta(cell);
+            for e in grid.incident_edges(point) {
+                let d = demand.total(grid, cap, e);
+                let c = cap.capacity(e);
+                cost += cfg.weights.overflow * ((d + share - c).max(0.0) - (d - c).max(0.0));
+            }
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Materializes path `i` of subnet `s` as a corner polyline.
+fn realize_path(grid: &dgr_grid::GcellGrid, forest: &DagForest, s: usize, i: usize) -> RoutePath {
+    let (a, b) = forest.subnet_endpoints(s);
+    let mut corners = Vec::with_capacity(forest.path_vias(i).len() + 2);
+    corners.push(a);
+    for &v in forest.path_vias(i) {
+        corners.push(grid.cell_point(GcellId(v)));
+    }
+    if b != a {
+        corners.push(b);
+    }
+    RoutePath { corners }
+}
+
+/// Removes a realized path from the running demand map (rip-up).
+fn uncommit(
+    grid: &dgr_grid::GcellGrid,
+    demand: &mut DemandMap,
+    path: &RoutePath,
+) -> Result<(), DgrError> {
+    for w in path.corners.windows(2) {
+        demand.remove_segment(grid, w[0], w[1])?;
+    }
+    let n = path.corners.len();
+    if n > 2 {
+        for corner in &path.corners[1..n - 1] {
+            demand.remove_turn(grid, *corner)?;
+        }
+    }
+    Ok(())
+}
+
+/// Commits a realized path into the running demand map.
+fn commit(
+    grid: &dgr_grid::GcellGrid,
+    demand: &mut DemandMap,
+    path: &RoutePath,
+) -> Result<(), DgrError> {
+    for w in path.corners.windows(2) {
+        demand.add_segment(grid, w[0], w[1])?;
+    }
+    let n = path.corners.len();
+    if n > 2 {
+        for corner in &path.corners[1..n - 1] {
+            demand.add_turn(grid, *corner)?;
+        }
+    }
+    Ok(())
+}
+
+/// Returns, for diagnostic purposes, whether a probability vector is
+/// nearly one-hot within every group of `offsets` (max ≥ `threshold`).
+pub fn sharpness(p: &[f32], offsets: &[u32], threshold: f32) -> f64 {
+    let groups = offsets.len() - 1;
+    if groups == 0 {
+        return 1.0;
+    }
+    let mut sharp = 0usize;
+    for g in 0..groups {
+        let r = offsets[g] as usize..offsets[g + 1] as usize;
+        if r.is_empty() {
+            sharp += 1;
+            continue;
+        }
+        let max = p[r].iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if max >= threshold {
+            sharp += 1;
+        }
+    }
+    sharp as f64 / groups as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relax::build_cost_model;
+    use crate::train::train;
+    use dgr_dag::{build_forest, PatternConfig};
+    use dgr_grid::{CapacityBuilder, GcellGrid, Net, Point};
+    use dgr_rsmt::{tree_candidates, CandidateConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn routed(tracks: f32, mode: ExtractionMode, seed: u64) -> (Design, RoutingSolution) {
+        let grid = GcellGrid::new(8, 8).unwrap();
+        let cap = CapacityBuilder::uniform(&grid, tracks)
+            .build(&grid)
+            .unwrap();
+        let design = Design::new(
+            grid,
+            cap,
+            vec![
+                Net::new("a", vec![Point::new(0, 0), Point::new(6, 6)]),
+                Net::new("b", vec![Point::new(0, 0), Point::new(6, 6)]),
+                Net::new("c", vec![Point::new(0, 6), Point::new(6, 0)]),
+            ],
+            5,
+        )
+        .unwrap();
+        let pools: Vec<_> = design
+            .nets
+            .iter()
+            .map(|n| tree_candidates(&n.pins, &CandidateConfig::single()).unwrap())
+            .collect();
+        let forest = build_forest(&design.grid, &pools, PatternConfig::l_only()).unwrap();
+        let mut cfg = DgrConfig::default();
+        cfg.iterations = 150;
+        cfg.extraction = mode;
+        cfg.seed = seed;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut model = build_cost_model(&design, &forest, &cfg, &mut rng);
+        train(&mut model, &cfg, &mut rng);
+        let sol = extract_solution(&design, &forest, &mut model, &cfg).unwrap();
+        (design, sol)
+    }
+
+    #[test]
+    fn solution_connects_all_subnets_with_minimal_wirelength() {
+        let (_, sol) = routed(4.0, ExtractionMode::Argmax, 1);
+        assert_eq!(sol.routes.len(), 3);
+        for route in &sol.routes {
+            assert_eq!(route.paths.len(), 1);
+            let p = &route.paths[0];
+            assert_eq!(p.wirelength(), 12); // monotone pattern = manhattan
+            assert!(p.num_turns() <= 1);
+        }
+        assert_eq!(sol.metrics.total_wirelength, 36);
+    }
+
+    #[test]
+    fn top_p_greedy_matches_or_beats_argmax_on_overflow() {
+        let (_, am) = routed(1.0, ExtractionMode::Argmax, 3);
+        let (_, tp) = routed(1.0, ExtractionMode::TopP { threshold: 0.95 }, 3);
+        assert!(
+            tp.metrics.overflow.total_overflow <= am.metrics.overflow.total_overflow + 1e-6,
+            "top-p {} vs argmax {}",
+            tp.metrics.overflow.total_overflow,
+            am.metrics.overflow.total_overflow
+        );
+    }
+
+    #[test]
+    fn demand_is_consistent_with_remeasure() {
+        let (design, sol) = routed(2.0, ExtractionMode::TopP { threshold: 0.9 }, 5);
+        // remeasure from scratch and compare
+        let mut copy = sol.clone();
+        copy.remeasure(&design).unwrap();
+        assert_eq!(copy.metrics.total_wirelength, sol.metrics.total_wirelength);
+        assert_eq!(copy.demand.wire_slice(), sol.demand.wire_slice());
+    }
+
+    #[test]
+    fn sharpness_reports_one_hot_groups() {
+        let p = [0.99f32, 0.01, 0.5, 0.5];
+        let offsets = [0u32, 2, 4];
+        let s = sharpness(&p, &offsets, 0.9);
+        assert!((s - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_p_set_respects_threshold() {
+        let grid = GcellGrid::new(8, 8).unwrap();
+        let pool = tree_candidates(
+            &[Point::new(0, 0), Point::new(4, 4)],
+            &CandidateConfig::single(),
+        )
+        .unwrap();
+        let forest = build_forest(&grid, &[pool], PatternConfig::l_only()).unwrap();
+        // two paths with p = [0.8, 0.2]
+        let p = vec![0.8f32, 0.2];
+        assert_eq!(top_p_set(&forest, 0, &p, 0.7), vec![0]);
+        assert_eq!(top_p_set(&forest, 0, &p, 0.9), vec![0, 1]);
+        assert_eq!(top_p_set(&forest, 0, &p, 1.0), vec![0, 1]);
+    }
+}

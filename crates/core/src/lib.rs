@@ -1,0 +1,311 @@
+#![warn(missing_docs)]
+
+//! DGR — the differentiable global router (the paper's contribution).
+//!
+//! The router turns 2D pattern routing into a continuous optimization
+//! problem (Section 4 of the paper):
+//!
+//! 1. build a [DAG forest](dgr_dag::DagForest) of routing-tree and
+//!    2-pin-path candidates for every net,
+//! 2. relax the discrete tree/path selections to probabilities produced by
+//!    per-group Gumbel-softmax over trainable logits ([`relax`]),
+//! 3. minimize the expected cost
+//!    `a₁·WL + a₂·via + a₃·overflow` (ICCAD'19 weights 0.5 / 4 / 500) with
+//!    Adam, annealing the softmax temperature ([`train()`]),
+//! 4. extract a discrete solution by tree-argmax + top-p path selection
+//!    ([`extract`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use dgr_core::{DgrConfig, DgrRouter};
+//! use dgr_grid::{CapacityBuilder, Design, GcellGrid, Net, Point};
+//!
+//! let grid = GcellGrid::new(16, 16)?;
+//! let cap = CapacityBuilder::uniform(&grid, 4.0).build(&grid)?;
+//! let design = Design::new(
+//!     grid,
+//!     cap,
+//!     vec![
+//!         Net::new("a", vec![Point::new(1, 1), Point::new(12, 9)]),
+//!         Net::new("b", vec![Point::new(2, 10), Point::new(11, 3)]),
+//!     ],
+//!     5,
+//! )?;
+//! let mut config = DgrConfig::default();
+//! config.iterations = 50; // keep the doc-test fast
+//! let routed = DgrRouter::new(config).route(&design)?;
+//! assert_eq!(routed.routes.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod config;
+pub mod extract;
+pub mod memory;
+pub mod relax;
+pub mod solution;
+pub mod train;
+
+pub use config::{CostWeights, DgrConfig, ExtractionMode};
+pub use extract::extract_solution;
+pub use relax::{build_cost_model, CostModel};
+pub use solution::{NetRoute, RoutePath, RoutingSolution, SolutionMetrics};
+pub use train::{train, TrainReport};
+
+use dgr_grid::Design;
+
+/// Errors produced by the DGR pipeline.
+#[derive(Debug)]
+pub enum DgrError {
+    /// Steiner-tree construction failed.
+    Rsmt(dgr_rsmt::RsmtError),
+    /// DAG-forest construction failed.
+    Dag(dgr_dag::DagError),
+    /// Grid-level failure while realizing the solution.
+    Grid(dgr_grid::GridError),
+    /// The configuration is unusable (e.g. zero iterations).
+    BadConfig(String),
+}
+
+impl std::fmt::Display for DgrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DgrError::Rsmt(e) => write!(f, "tree construction failed: {e}"),
+            DgrError::Dag(e) => write!(f, "forest construction failed: {e}"),
+            DgrError::Grid(e) => write!(f, "grid operation failed: {e}"),
+            DgrError::BadConfig(why) => write!(f, "bad configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DgrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DgrError::Rsmt(e) => Some(e),
+            DgrError::Dag(e) => Some(e),
+            DgrError::Grid(e) => Some(e),
+            DgrError::BadConfig(_) => None,
+        }
+    }
+}
+
+impl From<dgr_rsmt::RsmtError> for DgrError {
+    fn from(e: dgr_rsmt::RsmtError) -> Self {
+        DgrError::Rsmt(e)
+    }
+}
+
+impl From<dgr_dag::DagError> for DgrError {
+    fn from(e: dgr_dag::DagError) -> Self {
+        DgrError::Dag(e)
+    }
+}
+
+impl From<dgr_grid::GridError> for DgrError {
+    fn from(e: dgr_grid::GridError) -> Self {
+        DgrError::Grid(e)
+    }
+}
+
+/// The end-to-end differentiable global router.
+///
+/// Owns a [`DgrConfig`] and runs the full pipeline in [`DgrRouter::route`].
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone, Default)]
+pub struct DgrRouter {
+    config: DgrConfig,
+}
+
+impl DgrRouter {
+    /// Creates a router with the given configuration.
+    pub fn new(config: DgrConfig) -> Self {
+        DgrRouter { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DgrConfig {
+        &self.config
+    }
+
+    /// Routes `design`: candidates → forest → training → extraction,
+    /// plus optional adaptive forest-expansion rounds
+    /// ([`DgrConfig::adaptive_rounds`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DgrError`] if tree construction, forest construction,
+    /// or solution realization fails, or if the configuration is invalid.
+    pub fn route(&self, design: &Design) -> Result<RoutingSolution, DgrError> {
+        self.config.validate()?;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+
+        // 1. per-net tree candidate pools
+        let mut cand_cfg = self.config.candidates.clone();
+        cand_cfg.clamp = Some(design.grid.bounds());
+        let mut pools = Vec::with_capacity(design.nets.len());
+        for net in &design.nets {
+            pools.push(dgr_rsmt::tree_candidates(&net.pins, &cand_cfg)?);
+        }
+
+        let mut extras: std::collections::HashMap<usize, Vec<dgr_dag::PatternPath>> =
+            Default::default();
+        let mut warm_start: Option<expand::WarmStart> = None;
+        let mut total_duration = std::time::Duration::ZERO;
+
+        for round in 0..=self.config.adaptive_rounds {
+            // 2. DAG forest (with any adaptive extras)
+            let forest = dgr_dag::build_forest_with_extras(
+                &design.grid,
+                &pools,
+                self.config.patterns,
+                &extras,
+            )?;
+
+            // 3. continuous relaxation + training (warm-started after the
+            // first round)
+            let mut model = build_cost_model(design, &forest, &self.config, &mut rng);
+            if let Some(warm) = &warm_start {
+                warm.apply(&forest, &mut model);
+            }
+            let mut round_cfg = self.config.clone();
+            if round > 0 {
+                round_cfg.iterations = self.config.adaptive_iterations.max(1);
+            }
+            let mut report = train(&mut model, &round_cfg, &mut rng);
+            total_duration += report.duration;
+
+            // 4. discrete extraction
+            let mut solution = extract_solution(design, &forest, &mut model, &round_cfg)?;
+
+            let done = round == self.config.adaptive_rounds
+                || solution.metrics.overflow.overflowed_edges == 0;
+            if done {
+                report.duration = total_duration;
+                solution.train_report = Some(report);
+                return Ok(solution);
+            }
+
+            // 5. adaptive expansion: congested sub-nets get maze-derived
+            // candidates; logits carry over
+            let grew = expand::grow_extras(design, &forest, &solution, &mut extras);
+            warm_start = Some(expand::WarmStart::capture(&forest, &model));
+            if !grew {
+                report.duration = total_duration;
+                solution.train_report = Some(report);
+                return Ok(solution);
+            }
+        }
+        unreachable!("loop returns on its final round");
+    }
+}
+
+mod expand {
+    //! Adaptive forest expansion (Section 3.1's future-work direction):
+    //! grow the DAG forest where the last round's solution overflowed.
+
+    use dgr_dag::{DagForest, PatternPath};
+    use dgr_grid::maze::{maze_route, MazeConfig};
+    use dgr_grid::{Design, Rect};
+
+    use crate::relax::CostModel;
+    use crate::solution::RoutingSolution;
+
+    /// Trained logits keyed by stable identities (tree order is unchanged
+    /// across rounds; paths are matched per subnet by position, extras
+    /// appended at the end start from the subnet's best logit).
+    pub(crate) struct WarmStart {
+        tree_logits: Vec<f32>,
+        /// per subnet: the trained path logits, in construction order
+        path_logits: Vec<Vec<f32>>,
+    }
+
+    impl WarmStart {
+        pub(crate) fn capture(forest: &DagForest, model: &CostModel) -> Self {
+            let w_tree = model.graph.value(model.w_tree).to_vec();
+            let w_path = model.graph.value(model.w_path);
+            let path_logits = (0..forest.num_subnets())
+                .map(|s| forest.paths_of_subnet(s).map(|i| w_path[i]).collect())
+                .collect();
+            WarmStart {
+                tree_logits: w_tree,
+                path_logits,
+            }
+        }
+
+        pub(crate) fn apply(&self, forest: &DagForest, model: &mut CostModel) {
+            model.graph.set_data(model.w_tree, &self.tree_logits);
+            let mut w_path = vec![0.0f32; forest.num_paths()];
+            for s in 0..forest.num_subnets() {
+                let old = &self.path_logits[s];
+                let best = old.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                for (k, i) in forest.paths_of_subnet(s).enumerate() {
+                    // original candidates keep their logits; appended
+                    // extras start competitive with the incumbent
+                    w_path[i] = old.get(k).copied().unwrap_or(best);
+                }
+            }
+            model.graph.set_data(model.w_path, &w_path);
+        }
+    }
+
+    /// Adds a congestion-avoiding maze candidate for every sub-net whose
+    /// realized path crosses an overflowed edge. Returns whether anything
+    /// new was added.
+    pub(crate) fn grow_extras(
+        design: &Design,
+        forest: &DagForest,
+        solution: &RoutingSolution,
+        extras: &mut std::collections::HashMap<usize, Vec<PatternPath>>,
+    ) -> bool {
+        let grid = &design.grid;
+        let cap = &design.capacity;
+        let demand = &solution.demand;
+        let over: Vec<bool> = grid
+            .edge_ids()
+            .map(|e| demand.total(grid, cap, e) > cap.capacity(e) + 1e-4)
+            .collect();
+        let mut grew = false;
+        for route in &solution.routes {
+            for (s, path) in forest.subnets_of_tree(route.tree).zip(&route.paths) {
+                let crosses = path.corners.windows(2).any(|w| {
+                    let mut edges = Vec::new();
+                    grid.push_segment_edges(w[0], w[1], &mut edges)
+                        .map(|()| edges.iter().any(|e| over[e.index()]))
+                        .unwrap_or(false)
+                });
+                if !crosses {
+                    continue;
+                }
+                let (a, b) = forest.subnet_endpoints(s);
+                if a == b {
+                    continue;
+                }
+                let cfg = MazeConfig {
+                    bounds: Some(Rect::bounding(&[a, b]).inflate_clamped(8, grid.bounds())),
+                    turn_cost: 1.0,
+                };
+                let Some(corners) = maze_route(
+                    grid,
+                    a,
+                    b,
+                    |e| {
+                        let d = demand.total(grid, cap, e);
+                        let c = cap.capacity(e);
+                        1.0 + 1000.0 * ((d + 1.0 - c).max(0.0) - (d - c).max(0.0))
+                    },
+                    &cfg,
+                ) else {
+                    continue;
+                };
+                let candidate = PatternPath::new(corners);
+                let slot = extras.entry(s).or_default();
+                if !slot.contains(&candidate) {
+                    slot.push(candidate);
+                    grew = true;
+                }
+            }
+        }
+        grew
+    }
+}

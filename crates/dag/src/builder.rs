@@ -1,0 +1,389 @@
+//! Construction of a [`DagForest`] from per-net tree candidate pools.
+
+use dgr_grid::GcellGrid;
+use dgr_rsmt::RoutingTree;
+
+use crate::forest::DagForest;
+use crate::DagError;
+
+/// Pattern families enumerated per 2-pin sub-net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternConfig {
+    /// When `Some(s)`, Z-shape candidates are generated with a middle-leg
+    /// stride of `s` g-cells in addition to the L-shapes.
+    pub z_stride: Option<u32>,
+    /// When `Some(d)`, C-shape candidates escape the sub-net's bounding
+    /// box by `d` g-cells on each applicable side (2-turn non-monotone
+    /// detours) — the paper's third pattern family.
+    pub c_detour: Option<u32>,
+}
+
+impl Default for PatternConfig {
+    /// L-shapes only — the configuration used in all paper experiments.
+    fn default() -> Self {
+        PatternConfig {
+            z_stride: None,
+            c_detour: None,
+        }
+    }
+}
+
+impl PatternConfig {
+    /// L-shapes only (the paper's default).
+    pub fn l_only() -> Self {
+        PatternConfig::default()
+    }
+
+    /// L-shapes plus Z-shapes at the given stride.
+    pub fn with_z(stride: u32) -> Self {
+        PatternConfig {
+            z_stride: Some(stride),
+            c_detour: None,
+        }
+    }
+
+    /// L-, Z- and C-shapes: the widest static pattern space.
+    pub fn with_z_and_c(stride: u32, detour: u32) -> Self {
+        PatternConfig {
+            z_stride: Some(stride),
+            c_detour: Some(detour),
+        }
+    }
+}
+
+/// Builds the DAG forest from each net's routing-tree candidates.
+///
+/// `candidates[n]` is the tree pool of net `n` (from
+/// [`dgr_rsmt::tree_candidates`]). Trees whose nodes leave the grid are
+/// rejected.
+///
+/// Nets whose trees have no sub-nets (single-pin / local nets) still get a
+/// tree entry so Eq. (8) stays well-formed; they simply own no sub-nets.
+///
+/// # Errors
+///
+/// * [`DagError::EmptyNet`] if a net has no tree candidates,
+/// * [`DagError::PathOutOfGrid`] if a path candidate leaves `grid`.
+///
+/// # Examples
+///
+/// ```
+/// use dgr_grid::{GcellGrid, Point};
+/// use dgr_rsmt::{tree_candidates, CandidateConfig};
+/// use dgr_dag::{build_forest, PatternConfig};
+///
+/// let grid = GcellGrid::new(16, 16)?;
+/// let pins = vec![Point::new(1, 1), Point::new(9, 4), Point::new(4, 12)];
+/// let pool = tree_candidates(&pins, &CandidateConfig::default())?;
+/// let forest = build_forest(&grid, &[pool], PatternConfig::l_only())?;
+/// assert_eq!(forest.num_nets(), 1);
+/// assert!(forest.num_paths() >= forest.num_subnets());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn build_forest(
+    grid: &GcellGrid,
+    candidates: &[Vec<RoutingTree>],
+    patterns: PatternConfig,
+) -> Result<DagForest, DagError> {
+    build_forest_with_extras(
+        grid,
+        candidates,
+        patterns,
+        &std::collections::HashMap::new(),
+    )
+}
+
+/// [`build_forest`] plus *extra* path candidates for specific sub-nets —
+/// the paper's "adaptive expansion of the forest" future-work hook: after
+/// a first routing round, congested sub-nets receive additional (e.g.
+/// maze-derived) candidates keyed by their construction-order subnet
+/// index.
+///
+/// Extras that duplicate an already-enumerated pattern, or whose
+/// endpoints do not match the sub-net, are skipped silently.
+///
+/// # Errors
+///
+/// Same contract as [`build_forest`].
+pub fn build_forest_with_extras(
+    grid: &GcellGrid,
+    candidates: &[Vec<RoutingTree>],
+    patterns: PatternConfig,
+    extras: &std::collections::HashMap<usize, Vec<crate::paths::PatternPath>>,
+) -> Result<DagForest, DagError> {
+    let mut net_tree_offsets = Vec::with_capacity(candidates.len() + 1);
+    net_tree_offsets.push(0u32);
+    let mut tree_net = Vec::new();
+    let mut tree_subnet_offsets = vec![0u32];
+    let mut subnet_tree = Vec::new();
+    let mut subnet_endpoints = Vec::new();
+    let mut subnet_path_offsets = vec![0u32];
+    let mut path_subnet = Vec::new();
+    let mut path_tree = Vec::new();
+    let mut path_wl = Vec::new();
+    let mut path_turns = Vec::new();
+    let mut path_edge_offsets = vec![0u32];
+    let mut path_edge_ids: Vec<u32> = Vec::new();
+    let mut path_via_offsets = vec![0u32];
+    let mut path_via_cells: Vec<u32> = Vec::new();
+
+    for (n, pool) in candidates.iter().enumerate() {
+        if pool.is_empty() {
+            return Err(DagError::EmptyNet { net: n });
+        }
+        for tree in pool {
+            let t = tree_net.len() as u32;
+            tree_net.push(n as u32);
+            for (a, b) in tree.subnets() {
+                let s = subnet_tree.len() as u32;
+                subnet_tree.push(t);
+                subnet_endpoints.push((a, b));
+                let mut pool = crate::paths::enumerate_patterns(
+                    a,
+                    b,
+                    patterns.z_stride,
+                    patterns.c_detour,
+                    Some(grid.bounds()),
+                );
+                if let Some(more) = extras.get(&(s as usize)) {
+                    for extra in more {
+                        let endpoints_match = (extra.source() == a && extra.sink() == b)
+                            || (extra.source() == b && extra.sink() == a);
+                        if endpoints_match && !pool.contains(extra) {
+                            pool.push(extra.clone());
+                        }
+                    }
+                }
+                for path in pool {
+                    path_subnet.push(s);
+                    path_tree.push(t);
+                    path_wl.push(path.wirelength() as f32);
+                    path_turns.push(path.num_turns() as f32);
+                    for e in path.edges(grid)? {
+                        path_edge_ids.push(e.0);
+                    }
+                    path_edge_offsets.push(path_edge_ids.len() as u32);
+                    for v in path.turning_points() {
+                        let id = grid.cell_id(v)?;
+                        path_via_cells.push(id.0);
+                    }
+                    path_via_offsets.push(path_via_cells.len() as u32);
+                }
+                subnet_path_offsets.push(path_subnet.len() as u32);
+            }
+            tree_subnet_offsets.push(subnet_tree.len() as u32);
+        }
+        net_tree_offsets.push(tree_net.len() as u32);
+    }
+
+    let forest = DagForest {
+        net_tree_offsets,
+        tree_net,
+        tree_subnet_offsets,
+        subnet_tree,
+        subnet_endpoints,
+        subnet_path_offsets,
+        path_subnet,
+        path_tree,
+        path_wl,
+        path_turns,
+        path_edge_offsets,
+        path_edge_ids,
+        path_via_offsets,
+        path_via_cells,
+    };
+    debug_assert!(forest.validate().is_ok());
+    Ok(forest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_grid::Point;
+    use dgr_rsmt::{tree_candidates, CandidateConfig};
+
+    fn grid() -> GcellGrid {
+        GcellGrid::new(20, 20).unwrap()
+    }
+
+    fn pool(pins: &[Point]) -> Vec<RoutingTree> {
+        tree_candidates(pins, &CandidateConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn two_pin_diagonal_net_has_two_l_paths() {
+        let g = grid();
+        let f = build_forest(
+            &g,
+            &[pool(&[Point::new(2, 2), Point::new(7, 9)])],
+            PatternConfig::l_only(),
+        )
+        .unwrap();
+        f.validate().unwrap();
+        assert_eq!(f.num_nets(), 1);
+        assert_eq!(f.num_trees(), 1);
+        assert_eq!(f.num_subnets(), 1);
+        assert_eq!(f.num_paths(), 2);
+        for i in 0..2 {
+            assert_eq!(f.path_wirelength(i), 12.0);
+            assert_eq!(f.path_turn_count(i), 1.0);
+            assert_eq!(f.path_edges(i).len(), 12);
+            assert_eq!(f.path_vias(i).len(), 1);
+        }
+        // the two L-shapes turn at different corners
+        assert_ne!(f.path_vias(0), f.path_vias(1));
+    }
+
+    #[test]
+    fn aligned_net_has_single_straight_path() {
+        let g = grid();
+        let f = build_forest(
+            &g,
+            &[pool(&[Point::new(2, 5), Point::new(11, 5)])],
+            PatternConfig::l_only(),
+        )
+        .unwrap();
+        assert_eq!(f.num_paths(), 1);
+        assert_eq!(f.path_turn_count(0), 0.0);
+        assert!(f.path_vias(0).is_empty());
+    }
+
+    #[test]
+    fn multi_net_offsets_are_consistent() {
+        let g = grid();
+        let nets = vec![
+            pool(&[Point::new(0, 0), Point::new(5, 5)]),
+            pool(&[Point::new(3, 3), Point::new(9, 1), Point::new(6, 8)]),
+            pool(&[Point::new(10, 10), Point::new(10, 15)]),
+        ];
+        let f = build_forest(&g, &nets, PatternConfig::l_only()).unwrap();
+        f.validate().unwrap();
+        assert_eq!(f.num_nets(), 3);
+        // every path's tree cache must match its subnet's tree
+        for i in 0..f.num_paths() {
+            assert_eq!(f.tree_of_path(i), f.tree_of_subnet(f.subnet_of_path(i)));
+        }
+    }
+
+    #[test]
+    fn z_patterns_add_candidates() {
+        let g = grid();
+        let nets = vec![pool(&[Point::new(0, 0), Point::new(6, 6)])];
+        let l = build_forest(&g, &nets, PatternConfig::l_only()).unwrap();
+        let z = build_forest(&g, &nets, PatternConfig::with_z(2)).unwrap();
+        assert!(z.num_paths() > l.num_paths());
+        z.validate().unwrap();
+    }
+
+    #[test]
+    fn single_pin_net_is_representable() {
+        let g = grid();
+        let nets = vec![pool(&[Point::new(4, 4)])];
+        let f = build_forest(&g, &nets, PatternConfig::l_only()).unwrap();
+        f.validate().unwrap();
+        assert_eq!(f.num_trees(), 1);
+        assert_eq!(f.num_subnets(), 0);
+        assert_eq!(f.num_paths(), 0);
+    }
+
+    #[test]
+    fn empty_candidate_pool_errors() {
+        let g = grid();
+        assert!(matches!(
+            build_forest(&g, &[Vec::new()], PatternConfig::l_only()),
+            Err(DagError::EmptyNet { net: 0 })
+        ));
+    }
+
+    #[test]
+    fn off_grid_tree_errors() {
+        let g = GcellGrid::new(4, 4).unwrap();
+        let nets = vec![pool(&[Point::new(0, 0), Point::new(10, 10)])];
+        assert!(matches!(
+            build_forest(&g, &nets, PatternConfig::l_only()),
+            Err(DagError::PathOutOfGrid(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_tree_candidates_multiply_subnets() {
+        let g = grid();
+        let pins = [
+            Point::new(1, 1),
+            Point::new(12, 2),
+            Point::new(6, 14),
+            Point::new(3, 9),
+            Point::new(15, 8),
+        ];
+        let pool = tree_candidates(&pins, &CandidateConfig::default()).unwrap();
+        assert!(pool.len() > 1, "expected several candidates");
+        let f = build_forest(&g, &[pool.clone()], PatternConfig::l_only()).unwrap();
+        assert_eq!(f.num_trees(), pool.len());
+        let total: usize = (0..f.num_trees()).map(|t| f.subnets_of_tree(t).len()).sum();
+        assert_eq!(total, f.num_subnets());
+    }
+
+    #[test]
+    fn extras_extend_the_right_subnet() {
+        let g = grid();
+        let nets = vec![pool(&[Point::new(0, 0), Point::new(5, 5)])];
+        // a 2-turn detour for subnet 0, plus garbage for a non-existent
+        // subnet and an endpoint-mismatched extra that must be dropped
+        let detour = crate::paths::PatternPath::new(vec![
+            Point::new(0, 0),
+            Point::new(0, 7),
+            Point::new(5, 7),
+            Point::new(5, 5),
+        ]);
+        let mismatched = crate::paths::PatternPath::new(vec![Point::new(1, 1), Point::new(5, 1)]);
+        let mut extras = std::collections::HashMap::new();
+        extras.insert(0usize, vec![detour.clone(), mismatched]);
+        extras.insert(99usize, vec![detour.clone()]);
+        let base = build_forest(&g, &nets, PatternConfig::l_only()).unwrap();
+        let grown = build_forest_with_extras(&g, &nets, PatternConfig::l_only(), &extras).unwrap();
+        grown.validate().unwrap();
+        assert_eq!(grown.num_paths(), base.num_paths() + 1);
+        // the original candidates keep their order; the extra is appended
+        for i in 0..base.num_paths() {
+            assert_eq!(grown.path_edges(i), base.path_edges(i));
+        }
+        let extra_idx = grown.num_paths() - 1;
+        assert_eq!(grown.path_wirelength(extra_idx), 14.0); // detour length
+        assert_eq!(grown.path_turn_count(extra_idx), 2.0);
+    }
+
+    #[test]
+    fn duplicate_extras_are_dropped() {
+        let g = grid();
+        let nets = vec![pool(&[Point::new(0, 0), Point::new(5, 5)])];
+        // an extra identical to an enumerated L-shape
+        let l_shape = crate::paths::PatternPath::new(vec![
+            Point::new(0, 0),
+            Point::new(5, 0),
+            Point::new(5, 5),
+        ]);
+        let mut extras = std::collections::HashMap::new();
+        extras.insert(0usize, vec![l_shape]);
+        let base = build_forest(&g, &nets, PatternConfig::l_only()).unwrap();
+        let grown = build_forest_with_extras(&g, &nets, PatternConfig::l_only(), &extras).unwrap();
+        assert_eq!(grown.num_paths(), base.num_paths());
+    }
+
+    #[test]
+    fn bytes_grows_with_paths() {
+        let g = grid();
+        let small = build_forest(
+            &g,
+            &[pool(&[Point::new(0, 0), Point::new(2, 2)])],
+            PatternConfig::l_only(),
+        )
+        .unwrap();
+        let large = build_forest(
+            &g,
+            &[pool(&[Point::new(0, 0), Point::new(15, 15)])],
+            PatternConfig::with_z(1),
+        )
+        .unwrap();
+        assert!(large.bytes() > small.bytes());
+    }
+}

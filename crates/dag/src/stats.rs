@@ -1,0 +1,122 @@
+//! Forest size statistics for reporting and the scalability study.
+
+use serde::{Deserialize, Serialize};
+
+use crate::forest::DagForest;
+
+/// Aggregate size statistics of a [`DagForest`].
+///
+/// # Examples
+///
+/// ```
+/// use dgr_grid::{GcellGrid, Point};
+/// use dgr_rsmt::{tree_candidates, CandidateConfig};
+/// use dgr_dag::{build_forest, ForestStats, PatternConfig};
+///
+/// let grid = GcellGrid::new(8, 8)?;
+/// let pool = tree_candidates(
+///     &[Point::new(0, 0), Point::new(5, 6)],
+///     &CandidateConfig::default(),
+/// )?;
+/// let forest = build_forest(&grid, &[pool], PatternConfig::l_only())?;
+/// let stats = ForestStats::measure(&forest);
+/// assert_eq!(stats.nets, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestStats {
+    /// Number of input nets.
+    pub nets: usize,
+    /// Total routing-tree candidates.
+    pub trees: usize,
+    /// Total 2-pin sub-nets.
+    pub subnets: usize,
+    /// Total pattern-path candidates.
+    pub paths: usize,
+    /// Total path→edge CSR entries (the dominant memory term).
+    pub path_edge_entries: usize,
+    /// Mean tree candidates per net.
+    pub trees_per_net: f64,
+    /// Mean path candidates per sub-net.
+    pub paths_per_subnet: f64,
+    /// Approximate arena footprint in bytes.
+    pub bytes: usize,
+}
+
+impl ForestStats {
+    /// Computes statistics for `forest`.
+    pub fn measure(forest: &DagForest) -> Self {
+        let nets = forest.num_nets();
+        let trees = forest.num_trees();
+        let subnets = forest.num_subnets();
+        let paths = forest.num_paths();
+        ForestStats {
+            nets,
+            trees,
+            subnets,
+            paths,
+            path_edge_entries: forest.path_edge_csr().1.len(),
+            trees_per_net: if nets == 0 {
+                0.0
+            } else {
+                trees as f64 / nets as f64
+            },
+            paths_per_subnet: if subnets == 0 {
+                0.0
+            } else {
+                paths as f64 / subnets as f64
+            },
+            bytes: forest.bytes(),
+        }
+    }
+}
+
+impl std::fmt::Display for ForestStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nets | {} trees ({:.2}/net) | {} subnets | {} paths ({:.2}/subnet) | {:.1} MiB",
+            self.nets,
+            self.trees,
+            self.trees_per_net,
+            self.subnets,
+            self.paths,
+            self.paths_per_subnet,
+            self.bytes as f64 / (1024.0 * 1024.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_forest, PatternConfig};
+    use dgr_grid::{GcellGrid, Point};
+    use dgr_rsmt::{tree_candidates, CandidateConfig};
+
+    #[test]
+    fn stats_match_forest_counts() {
+        let grid = GcellGrid::new(16, 16).unwrap();
+        let nets = vec![
+            tree_candidates(
+                &[Point::new(0, 0), Point::new(9, 9)],
+                &CandidateConfig::default(),
+            )
+            .unwrap(),
+            tree_candidates(
+                &[Point::new(3, 3), Point::new(8, 1), Point::new(5, 12)],
+                &CandidateConfig::default(),
+            )
+            .unwrap(),
+        ];
+        let f = build_forest(&grid, &nets, PatternConfig::l_only()).unwrap();
+        let s = ForestStats::measure(&f);
+        assert_eq!(s.nets, 2);
+        assert_eq!(s.trees, f.num_trees());
+        assert_eq!(s.paths, f.num_paths());
+        assert!(s.paths_per_subnet >= 1.0);
+        assert!(s.bytes > 0);
+        let display = s.to_string();
+        assert!(display.contains("2 nets"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Dijkstra maze routing on the g-cell grid.
+//!
+//! The engine used by every sequential baseline and by the congestion
+//! refinement pass: single-pair shortest path under an arbitrary per-edge
+//! cost, with an optional turn penalty (states are (cell, incoming axis)
+//! pairs so turns are charged exactly).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::geom::{Point, Rect};
+use crate::grid::GcellGrid;
+use crate::ids::EdgeId;
+
+/// Search options for [`maze_route`].
+#[derive(Debug, Clone, Copy)]
+pub struct MazeConfig {
+    /// Restrict the search to this rectangle (default: whole grid).
+    /// The rectangle is automatically inflated to contain both endpoints.
+    pub bounds: Option<Rect>,
+    /// Extra cost charged every time the path changes axis.
+    pub turn_cost: f32,
+}
+
+impl Default for MazeConfig {
+    fn default() -> Self {
+        MazeConfig {
+            bounds: None,
+            turn_cost: 0.5,
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapKey(f32);
+
+impl Eq for HeapKey {}
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Finds the cheapest rectilinear path from `from` to `to` under
+/// `edge_cost`, returning the corner polyline (both endpoints included),
+/// or `None` when no path exists inside the search bounds (e.g. all edges
+/// are `f32::INFINITY`).
+///
+/// # Examples
+///
+/// ```
+/// use dgr_grid::maze::{maze_route, MazeConfig};
+/// use dgr_grid::{GcellGrid, Point};
+///
+/// let grid = GcellGrid::new(8, 8)?;
+/// let path = maze_route(
+///     &grid,
+///     Point::new(0, 0),
+///     Point::new(5, 3),
+///     |_| 1.0,
+///     &MazeConfig::default(),
+/// )
+/// .expect("uniform grid is connected");
+/// assert_eq!(path.first(), Some(&Point::new(0, 0)));
+/// assert_eq!(path.last(), Some(&Point::new(5, 3)));
+/// # Ok::<(), dgr_grid::GridError>(())
+/// ```
+pub fn maze_route<F>(
+    grid: &GcellGrid,
+    from: Point,
+    to: Point,
+    edge_cost: F,
+    cfg: &MazeConfig,
+) -> Option<Vec<Point>>
+where
+    F: Fn(EdgeId) -> f32,
+{
+    if !grid.contains(from) || !grid.contains(to) {
+        return None;
+    }
+    if from == to {
+        return Some(vec![from]);
+    }
+    let bounds = {
+        let b = cfg
+            .bounds
+            .unwrap_or_else(|| grid.bounds())
+            .inflate_clamped(0, grid.bounds());
+        // make sure both terminals are inside
+        Rect::new(
+            Point::new(b.lo.x.min(from.x).min(to.x), b.lo.y.min(from.y).min(to.y)),
+            Point::new(b.hi.x.max(from.x).max(to.x), b.hi.y.max(from.y).max(to.y)),
+        )
+    };
+    let w = bounds.width() as i32;
+    let h = bounds.height() as i32;
+    let n = (w * h) as usize;
+    let local = |p: Point| -> usize { ((p.y - bounds.lo.y) * w + (p.x - bounds.lo.x)) as usize };
+
+    // state = local cell × incoming axis (0 horizontal, 1 vertical)
+    let mut dist = vec![f32::INFINITY; n * 2];
+    let mut prev: Vec<u32> = vec![u32::MAX; n * 2];
+    let mut heap = BinaryHeap::new();
+    for axis in 0..2 {
+        dist[local(from) * 2 + axis] = 0.0;
+        heap.push(Reverse((HeapKey(0.0), (local(from) * 2 + axis) as u32)));
+    }
+
+    const DIRS: [(i32, i32, usize); 4] = [(1, 0, 0), (-1, 0, 0), (0, 1, 1), (0, -1, 1)];
+    let mut goal_state = None;
+    while let Some(Reverse((HeapKey(d), state))) = heap.pop() {
+        let state = state as usize;
+        if d > dist[state] {
+            continue;
+        }
+        let cell = state / 2;
+        let axis = state % 2;
+        let p = Point::new(
+            bounds.lo.x + (cell as i32 % w),
+            bounds.lo.y + (cell as i32 / w),
+        );
+        if p == to {
+            goal_state = Some(state);
+            break;
+        }
+        for &(dx, dy, new_axis) in &DIRS {
+            let q = Point::new(p.x + dx, p.y + dy);
+            if !bounds.contains(q) {
+                continue;
+            }
+            let e = grid.edge_between(p, q).expect("neighbor in grid");
+            let step = edge_cost(e);
+            if !step.is_finite() {
+                continue;
+            }
+            let turn = if axis != new_axis && d > 0.0 {
+                cfg.turn_cost
+            } else {
+                0.0
+            };
+            let nd = d + step + turn;
+            let ns = local(q) * 2 + new_axis;
+            if nd < dist[ns] {
+                dist[ns] = nd;
+                prev[ns] = state as u32;
+                heap.push(Reverse((HeapKey(nd), ns as u32)));
+            }
+        }
+    }
+
+    let mut state = goal_state?;
+    let mut cells = vec![to];
+    while prev[state] != u32::MAX {
+        state = prev[state] as usize;
+        let cell = state / 2;
+        let p = Point::new(
+            bounds.lo.x + (cell as i32 % w),
+            bounds.lo.y + (cell as i32 / w),
+        );
+        cells.push(p);
+    }
+    cells.reverse();
+    debug_assert_eq!(cells[0], from);
+    Some(compress_corners(&cells))
+}
+
+/// Collapses a unit-step cell sequence into its corner polyline.
+pub fn compress_corners(cells: &[Point]) -> Vec<Point> {
+    if cells.len() <= 2 {
+        return cells.to_vec();
+    }
+    let mut out = vec![cells[0]];
+    for i in 1..cells.len() - 1 {
+        let a = *out.last().expect("non-empty");
+        let b = cells[i];
+        let c = cells[i + 1];
+        let collinear = (a.x == b.x && b.x == c.x) || (a.y == b.y && b.y == c.y);
+        if !collinear {
+            out.push(b);
+        }
+    }
+    out.push(*cells.last().expect("non-empty"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GcellGrid {
+        GcellGrid::new(10, 10).unwrap()
+    }
+
+    #[test]
+    fn uniform_cost_gives_manhattan_length() {
+        let g = grid();
+        let path = maze_route(
+            &g,
+            Point::new(1, 1),
+            Point::new(7, 5),
+            |_| 1.0,
+            &MazeConfig::default(),
+        )
+        .unwrap();
+        let len: u32 = path.windows(2).map(|w| w[0].manhattan_distance(w[1])).sum();
+        assert_eq!(len, 10);
+        // with a turn penalty the path should be an L (one turn)
+        assert_eq!(path.len(), 3);
+    }
+
+    #[test]
+    fn detours_around_blocked_wall() {
+        let g = grid();
+        // wall of infinite cost on column x=4 except y=9
+        let cost = |e: EdgeId| {
+            let (a, b) = g.edge_endpoints(e);
+            let crosses = (a.x == 4 && b.x == 5) || (a.x == 3 && b.x == 4);
+            if crosses && a.y < 9 {
+                f32::INFINITY
+            } else {
+                1.0
+            }
+        };
+        let path = maze_route(
+            &g,
+            Point::new(0, 0),
+            Point::new(9, 0),
+            cost,
+            &MazeConfig {
+                bounds: None,
+                turn_cost: 0.0,
+            },
+        )
+        .unwrap();
+        let len: u32 = path.windows(2).map(|w| w[0].manhattan_distance(w[1])).sum();
+        assert!(len >= 9 + 18, "must detour through y=9, got {len}");
+        // verify the polyline is rectilinear and connected
+        for w in path.windows(2) {
+            assert!(w[0].is_aligned_with(w[1]));
+        }
+    }
+
+    #[test]
+    fn fully_blocked_is_none() {
+        let g = grid();
+        let path = maze_route(
+            &g,
+            Point::new(0, 0),
+            Point::new(9, 9),
+            |_| f32::INFINITY,
+            &MazeConfig::default(),
+        );
+        assert!(path.is_none());
+    }
+
+    #[test]
+    fn trivial_and_degenerate_cases() {
+        let g = grid();
+        let p = maze_route(
+            &g,
+            Point::new(3, 3),
+            Point::new(3, 3),
+            |_| 1.0,
+            &MazeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(p, vec![Point::new(3, 3)]);
+        assert!(maze_route(
+            &g,
+            Point::new(0, 0),
+            Point::new(50, 50),
+            |_| 1.0,
+            &MazeConfig::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn bounds_inflate_to_contain_terminals() {
+        let g = grid();
+        let tight = Rect::new(Point::new(4, 4), Point::new(5, 5));
+        let path = maze_route(
+            &g,
+            Point::new(2, 2),
+            Point::new(7, 7),
+            |_| 1.0,
+            &MazeConfig {
+                bounds: Some(tight),
+                turn_cost: 0.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(path.first(), Some(&Point::new(2, 2)));
+        assert_eq!(path.last(), Some(&Point::new(7, 7)));
+    }
+
+    #[test]
+    fn turn_penalty_prefers_fewer_corners() {
+        let g = grid();
+        // cheap zig-zag bait: make straight edges slightly pricier
+        let cost = |_e: EdgeId| 1.0;
+        let no_penalty = maze_route(
+            &g,
+            Point::new(0, 0),
+            Point::new(5, 5),
+            cost,
+            &MazeConfig {
+                bounds: None,
+                turn_cost: 0.0,
+            },
+        )
+        .unwrap();
+        let with_penalty = maze_route(
+            &g,
+            Point::new(0, 0),
+            Point::new(5, 5),
+            cost,
+            &MazeConfig {
+                bounds: None,
+                turn_cost: 2.0,
+            },
+        )
+        .unwrap();
+        assert!(with_penalty.len() <= no_penalty.len());
+        assert_eq!(with_penalty.len(), 3); // an L
+    }
+
+    #[test]
+    fn compress_corners_removes_collinear_points() {
+        let cells = vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(2, 0),
+            Point::new(2, 1),
+            Point::new(2, 2),
+        ];
+        assert_eq!(
+            compress_corners(&cells),
+            vec![Point::new(0, 0), Point::new(2, 0), Point::new(2, 2)]
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Named testcases mirroring the paper's benchmark lists.
+//!
+//! The original ISPD'18/'19 circuits range from 72 k to 895 k nets; this
+//! catalog reproduces each case's *role* (congested vs. comfortable,
+//! small vs. large, 5-layer vs. 9-layer) at roughly 1/40 scale so the
+//! full experiment suite runs on a laptop CPU. The per-case mapping is
+//! documented in `EXPERIMENTS.md`; the qualitative comparisons (who wins
+//! on overflow/wirelength/vias) are scale-invariant, absolute numbers
+//! are not.
+
+use crate::ispdlike::IspdLikeConfig;
+
+/// A named benchmark entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogCase {
+    /// Case name (paper's testcase id).
+    pub name: &'static str,
+    /// Generator parameters.
+    pub config: IspdLikeConfig,
+    /// Whether this is one of the paper's "most congested" 5-layer cases.
+    pub congested: bool,
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the table columns
+fn case(
+    name: &'static str,
+    width: u32,
+    height: u32,
+    num_nets: usize,
+    num_layers: u32,
+    base_capacity: f32,
+    macros: usize,
+    congested: bool,
+    seed: u64,
+) -> CatalogCase {
+    CatalogCase {
+        name,
+        config: IspdLikeConfig {
+            width,
+            height,
+            num_nets,
+            num_layers,
+            base_capacity,
+            // cluster count scales with the netlist so per-cluster pin
+            // density (and hence hotspot intensity) is scale-invariant
+            clusters: (num_nets / 75).max(6),
+            cluster_spread: (width.min(height) as f64) / if congested { 8.0 } else { 12.0 },
+            global_net_fraction: if congested { 0.30 } else { 0.25 },
+            uniform_fraction: 0.45,
+            macros,
+            macro_capacity_factor: if congested { 0.55 } else { 0.6 },
+            pin_beta: 0.25,
+            seed,
+        },
+        congested,
+    }
+}
+
+/// The six "most congested 5-layer" cases of Table 2, scaled.
+pub fn congested_cases() -> Vec<CatalogCase> {
+    vec![
+        case("ispd18_5m", 62, 61, 1800, 5, 15.0, 3, true, 185),
+        case("ispd18_8m", 90, 88, 4500, 5, 25.0, 3, true, 188),
+        case("ispd18_10m", 61, 52, 4600, 5, 36.0, 4, true, 1810),
+        case("ispd19_7m", 105, 101, 9000, 5, 43.0, 4, true, 197),
+        case("ispd19_8m", 120, 114, 13500, 5, 52.0, 4, true, 198),
+        case("ispd19_9m", 134, 143, 22000, 5, 74.0, 5, true, 199),
+    ]
+}
+
+/// The ten ISPD'18 cases of Table 3, scaled.
+pub fn ispd18_cases() -> Vec<CatalogCase> {
+    vec![
+        case("ispd18_test1", 32, 32, 300, 9, 10.0, 1, false, 1),
+        case("ispd18_test2", 64, 64, 800, 9, 10.0, 1, false, 2),
+        case("ispd18_test3", 64, 64, 900, 9, 10.0, 2, false, 3),
+        case("ispd18_test4", 80, 80, 1600, 9, 11.0, 2, false, 4),
+        case("ispd18_test5", 80, 80, 1800, 9, 12.0, 2, false, 5),
+        case("ispd18_test6", 96, 96, 2400, 9, 12.0, 2, false, 6),
+        case("ispd18_test7", 108, 108, 3600, 9, 14.0, 3, false, 7),
+        case("ispd18_test8", 108, 108, 3700, 9, 15.0, 3, false, 8),
+        case("ispd18_test9", 108, 108, 3400, 9, 17.0, 3, false, 9),
+        case("ispd18_test10", 120, 120, 4500, 9, 16.0, 3, false, 10),
+    ]
+}
+
+/// Looks up a case by name across both suites.
+pub fn catalog_case(name: &str) -> Option<CatalogCase> {
+    congested_cases()
+        .into_iter()
+        .chain(ispd18_cases())
+        .find(|c| c.name == name)
+}
+
+/// The names of every catalog case, congested suite first.
+pub fn catalog_names() -> Vec<&'static str> {
+    congested_cases()
+        .into_iter()
+        .chain(ispd18_cases())
+        .map(|c| c.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ispdlike::IspdLikeGenerator;
+
+    #[test]
+    fn catalog_names_match_the_paper() {
+        let congested = congested_cases();
+        assert_eq!(congested.len(), 6);
+        assert!(congested.iter().all(|c| c.config.num_layers == 5));
+        assert!(congested.iter().all(|c| c.congested));
+        let ispd18 = ispd18_cases();
+        assert_eq!(ispd18.len(), 10);
+        assert!(ispd18.iter().all(|c| !c.congested));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(catalog_case("ispd19_7m").is_some());
+        assert!(catalog_case("ispd18_test5").is_some());
+        assert!(catalog_case("ispd20_fake").is_none());
+    }
+
+    #[test]
+    fn cases_scale_monotonically_within_suites() {
+        let ispd18 = ispd18_cases();
+        assert!(ispd18[0].config.num_nets < ispd18[9].config.num_nets);
+        let congested = congested_cases();
+        assert!(congested[0].config.num_nets < congested[5].config.num_nets);
+    }
+
+    #[test]
+    fn smallest_cases_generate_quickly_and_validly() {
+        for c in [catalog_case("ispd18_test1").unwrap(), {
+            let mut c = catalog_case("ispd18_5m").unwrap();
+            c.config.num_nets = 100; // shrink for test speed
+            c
+        }] {
+            let d = IspdLikeGenerator::new(c.config.clone()).generate().unwrap();
+            assert_eq!(d.num_nets(), c.config.num_nets);
+            assert_eq!(d.num_layers, c.config.num_layers);
+        }
+    }
+}

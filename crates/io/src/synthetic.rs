@@ -1,0 +1,171 @@
+//! The Table-1 synthetic protocol, reproduced from the paper:
+//!
+//! > "three G-cells are arbitrarily selected within a box for each net,
+//! > designating them as pins."
+//!
+//! Capacities are uniform; the objective of the experiment is pure ReLU
+//! overflow, solved by ILP (exact) and DGR.
+
+use dgr_grid::{CapacityBuilder, Design, GcellGrid, Net, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::IoError;
+
+/// Parameters of one Table-1 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Params {
+    /// Grid side length (grids are square in the paper).
+    pub grid: u32,
+    /// Uniform edge capacity `cap_e`.
+    pub cap: f32,
+    /// Number of nets.
+    pub nets: usize,
+    /// Side length of the random box each net's pins are drawn from.
+    pub box_size: u32,
+    /// RNG seed for pin placement.
+    pub seed: u64,
+}
+
+/// The ten parameter rows of Table 1, in paper order.
+///
+/// The paper's exact values; runtime scaling (fewer iterations for the
+/// largest rows) is a harness decision, not a data decision.
+pub fn table1_rows() -> Vec<Table1Params> {
+    let rows: [(u32, f32, usize, u32); 10] = [
+        (20, 1.0, 20, 4),
+        (50, 1.0, 50, 10),
+        (50, 1.0, 100, 10),
+        (50, 2.0, 100, 10),
+        (50, 1.0, 1000, 10),
+        (50, 10.0, 1000, 10),
+        (50, 10.0, 10_000, 10),
+        (100, 2.0, 1000, 20),
+        (100, 2.0, 10_000, 20),
+        (1000, 1.0, 100_000, 200),
+    ];
+    rows.iter()
+        .map(|&(grid, cap, nets, box_size)| Table1Params {
+            grid,
+            cap,
+            nets,
+            box_size,
+            seed: 0xDAC_2024,
+        })
+        .collect()
+}
+
+/// Generates the design for one Table-1 row.
+///
+/// Each net gets a random `box_size × box_size` box (clamped to the
+/// grid) and three distinct g-cells inside it as pins.
+///
+/// # Errors
+///
+/// Propagates grid/design validation failures (cannot occur for the
+/// stock rows).
+///
+/// # Examples
+///
+/// ```
+/// use dgr_io::{table1_design, Table1Params};
+///
+/// let design = table1_design(&Table1Params {
+///     grid: 20,
+///     cap: 1.0,
+///     nets: 20,
+///     box_size: 4,
+///     seed: 7,
+/// })?;
+/// assert_eq!(design.num_nets(), 20);
+/// # Ok::<(), dgr_io::IoError>(())
+/// ```
+pub fn table1_design(params: &Table1Params) -> Result<Design, IoError> {
+    let grid = GcellGrid::new(params.grid, params.grid)?;
+    let cap = CapacityBuilder::uniform(&grid, params.cap).build(&grid)?;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let side = params.grid as i32;
+    let bx = (params.box_size.max(2).min(params.grid)) as i32;
+    let mut nets = Vec::with_capacity(params.nets);
+    for i in 0..params.nets {
+        let x0 = rng.gen_range(0..=(side - bx).max(0));
+        let y0 = rng.gen_range(0..=(side - bx).max(0));
+        let mut pins = Vec::with_capacity(3);
+        while pins.len() < 3 {
+            let p = Point::new(x0 + rng.gen_range(0..bx), y0 + rng.gen_range(0..bx));
+            if !pins.contains(&p) {
+                pins.push(p);
+            }
+        }
+        nets.push(Net::new(format!("net{i}"), pins));
+    }
+    // Table 1 is a pure 2D experiment; one layer keeps √L = 1.
+    Ok(Design::new(grid, cap, nets, 1)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_rows_matching_the_paper() {
+        let rows = table1_rows();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0].grid, 20);
+        assert_eq!(rows[9].grid, 1000);
+        assert_eq!(rows[9].nets, 100_000);
+        assert_eq!(rows[5].cap, 10.0);
+    }
+
+    #[test]
+    fn nets_have_three_distinct_pins_inside_their_box() {
+        let params = Table1Params {
+            grid: 50,
+            cap: 1.0,
+            nets: 100,
+            box_size: 10,
+            seed: 3,
+        };
+        let d = table1_design(&params).unwrap();
+        assert_eq!(d.num_nets(), 100);
+        for net in &d.nets {
+            assert_eq!(net.pins.len(), 3);
+            let bbox = dgr_grid::Rect::bounding(&net.pins);
+            assert!(bbox.width() <= 10 && bbox.height() <= 10);
+            let distinct: std::collections::HashSet<_> = net.pins.iter().collect();
+            assert_eq!(distinct.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Table1Params {
+            grid: 20,
+            cap: 1.0,
+            nets: 20,
+            box_size: 4,
+            seed: 9,
+        };
+        assert_eq!(table1_design(&p).unwrap(), table1_design(&p).unwrap());
+        let mut p2 = p;
+        p2.seed = 10;
+        assert_ne!(table1_design(&p).unwrap(), table1_design(&p2).unwrap());
+    }
+
+    #[test]
+    fn tiny_grid_with_box_larger_than_grid() {
+        let p = Table1Params {
+            grid: 3,
+            cap: 1.0,
+            nets: 4,
+            box_size: 10,
+            seed: 0,
+        };
+        let d = table1_design(&p).unwrap();
+        for net in &d.nets {
+            for pin in &net.pins {
+                assert!(d.grid.contains(*pin));
+            }
+        }
+    }
+}

@@ -1,0 +1,598 @@
+//! Dynamic-programming layer assignment (Section 4.6).
+//!
+//! Every 2D wire segment is assigned to a routing layer whose preferred
+//! direction matches the segment. The assignment of one net is solved by
+//! a tree DP over its segment graph: `dp[v][l]` is the optimal cost of
+//! the subtree hanging off node `v` when the wire arriving at `v` sits on
+//! layer `l`, combining
+//!
+//! * per-layer congestion (marginal overflow of the segment's edges on
+//!   the candidate layer against the demand committed by earlier nets),
+//! * via cost `|l_child − l_parent|` at every junction, and
+//! * pin access cost `l` at pin nodes (pins live on the lowest metal).
+//!
+//! Nets are processed sequentially (largest first), committing per-layer
+//! demand — the same greedy-sequential scheme CUGR2 uses. Via counts are
+//! then measured exactly as the layer *span* at every node (a stack of
+//! vias from the lowest to the highest layer touching the node).
+
+use std::collections::HashMap;
+
+use dgr_core::RoutingSolution;
+use dgr_grid::{Design, EdgeDir, Point};
+
+use crate::layers::LayerModel;
+use crate::PostError;
+
+/// Configuration of the layer assignment DP.
+#[derive(Debug, Clone, Copy)]
+pub struct AssignConfig {
+    /// Weight of marginal per-layer overflow in the DP cost.
+    pub overflow_weight: f32,
+    /// Weight of one via (one layer crossed) in the DP cost.
+    pub via_weight: f32,
+    /// Whether layer 0 routes horizontally.
+    pub first_horizontal: bool,
+}
+
+impl Default for AssignConfig {
+    fn default() -> Self {
+        AssignConfig {
+            overflow_weight: 500.0,
+            via_weight: 4.0,
+            first_horizontal: true,
+        }
+    }
+}
+
+/// A wire segment placed on a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment3d {
+    /// One endpoint.
+    pub a: Point,
+    /// The other endpoint.
+    pub b: Point,
+    /// Assigned layer.
+    pub layer: u32,
+}
+
+/// One net's 3D realization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net3d {
+    /// Net index in the input design.
+    pub net: usize,
+    /// Layer-assigned segments.
+    pub segments: Vec<Segment3d>,
+    /// Exact via count (sum of layer spans over the net's nodes).
+    pub vias: u64,
+}
+
+/// The complete 3D assignment with its quality metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assigned3d {
+    /// Per-net results, in input order.
+    pub nets: Vec<Net3d>,
+    /// Total vias across nets (the paper's `# Vias` column).
+    pub total_vias: u64,
+    /// Number of (layer, edge) pairs whose demand exceeds the per-layer
+    /// capacity share.
+    pub overflowed_edges3d: usize,
+    /// Total 3D overflow mass.
+    pub total_overflow3d: f64,
+    /// Peak per-(layer, edge) overflow.
+    pub peak_overflow3d: f32,
+    /// Nets touching at least one overflowed (layer, edge) — `n₁` in the
+    /// Fig. 6 weighted-overflow score.
+    pub overflowed_nets: usize,
+}
+
+/// Assigns layers to every net of `solution`.
+///
+/// 3D accounting covers wire demand; the 2D via-pressure term of Eq. (2)
+/// has already shaped the 2D solution and is not double-counted here.
+///
+/// # Errors
+///
+/// * [`PostError::TooFewLayers`] if the design has < 2 layers,
+/// * [`PostError::Grid`] if a route leaves the grid.
+pub fn assign_layers(
+    design: &Design,
+    solution: &RoutingSolution,
+    cfg: AssignConfig,
+) -> Result<Assigned3d, PostError> {
+    if design.num_layers < 2 {
+        return Err(PostError::TooFewLayers {
+            got: design.num_layers,
+        });
+    }
+    let model = LayerModel::alternating(design.num_layers, cfg.first_horizontal);
+    let grid = &design.grid;
+    let num_edges = grid.num_edges();
+    let num_layers = model.num_layers() as usize;
+    let mut layer_demand = vec![vec![0.0f32; num_edges]; num_layers];
+
+    // big nets first: they have the least flexibility per layer
+    let mut order: Vec<usize> = (0..solution.routes.len()).collect();
+    order.sort_by_key(|&n| std::cmp::Reverse(solution.routes[n].wirelength()));
+
+    let mut nets: Vec<Option<Net3d>> = vec![None; solution.routes.len()];
+    for &n in &order {
+        let route = &solution.routes[n];
+        let pins: std::collections::HashSet<Point> =
+            design.nets[route.net].pins.iter().copied().collect();
+        let net3d = assign_net(design, &model, cfg, route, &pins, &mut layer_demand)?;
+        nets[n] = Some(net3d);
+    }
+    let nets: Vec<Net3d> = nets.into_iter().map(|n| n.expect("assigned")).collect();
+
+    // 3D overflow accounting
+    let mut overflowed_edges3d = 0usize;
+    let mut total_overflow3d = 0.0f64;
+    let mut peak = 0.0f32;
+    let mut over_flag = vec![vec![false; num_edges]; num_layers];
+    for (l, dem) in layer_demand.iter().enumerate() {
+        for e in grid.edge_ids() {
+            let dir = grid.edge_dir(e);
+            if model.dir_of(l as u32) != dir {
+                continue;
+            }
+            let cap = model.layer_capacity(design.capacity.capacity(e), dir);
+            let over = dem[e.index()] - cap;
+            if over > 1e-4 {
+                overflowed_edges3d += 1;
+                total_overflow3d += over as f64;
+                peak = peak.max(over);
+                over_flag[l][e.index()] = true;
+            }
+        }
+    }
+    let mut overflowed_nets = 0usize;
+    let total_vias = nets.iter().map(|n| n.vias).sum();
+    for net in &nets {
+        let hit = net.segments.iter().any(|s| {
+            let mut edges = Vec::new();
+            grid.push_segment_edges(s.a, s.b, &mut edges)
+                .map(|()| edges.iter().any(|e| over_flag[s.layer as usize][e.index()]))
+                .unwrap_or(false)
+        });
+        if hit {
+            overflowed_nets += 1;
+        }
+    }
+
+    Ok(Assigned3d {
+        nets,
+        total_vias,
+        overflowed_edges3d,
+        total_overflow3d,
+        peak_overflow3d: peak,
+        overflowed_nets,
+    })
+}
+
+fn assign_net(
+    design: &Design,
+    model: &LayerModel,
+    cfg: AssignConfig,
+    route: &dgr_core::NetRoute,
+    pins: &std::collections::HashSet<Point>,
+    layer_demand: &mut [Vec<f32>],
+) -> Result<Net3d, PostError> {
+    let grid = &design.grid;
+
+    // 1. collect segments and nodes
+    let mut node_of: HashMap<Point, usize> = HashMap::new();
+    let mut points: Vec<Point> = Vec::new();
+    let mut segs: Vec<(usize, usize, Point, Point)> = Vec::new(); // (na, nb, a, b)
+    let intern = |p: Point, points: &mut Vec<Point>, node_of: &mut HashMap<Point, usize>| {
+        *node_of.entry(p).or_insert_with(|| {
+            points.push(p);
+            points.len() - 1
+        })
+    };
+    for path in &route.paths {
+        for w in path.corners.windows(2) {
+            if w[0] == w[1] {
+                continue;
+            }
+            let na = intern(w[0], &mut points, &mut node_of);
+            let nb = intern(w[1], &mut points, &mut node_of);
+            segs.push((na, nb, w[0], w[1]));
+        }
+    }
+    if segs.is_empty() {
+        return Ok(Net3d {
+            net: route.net,
+            segments: Vec::new(),
+            vias: 0,
+        });
+    }
+
+    // 2. spanning tree over segments (extras = cycle closers)
+    let n_nodes = points.len();
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_nodes]; // (seg, other)
+    let mut in_tree = vec![false; segs.len()];
+    {
+        let mut parent: Vec<usize> = (0..n_nodes).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        for (si, &(na, nb, ..)) in segs.iter().enumerate() {
+            let (ra, rb) = (find(&mut parent, na), find(&mut parent, nb));
+            if ra != rb {
+                parent[ra] = rb;
+                in_tree[si] = true;
+                adj[na].push((si, nb));
+                adj[nb].push((si, na));
+            }
+        }
+    }
+
+    let num_layers = model.num_layers() as usize;
+    let seg_dir = |si: usize| -> EdgeDir {
+        let (_, _, a, b) = segs[si];
+        if a.y == b.y {
+            EdgeDir::Horizontal
+        } else {
+            EdgeDir::Vertical
+        }
+    };
+    let mut seg_edge_cache: Vec<Option<Vec<dgr_grid::EdgeId>>> = vec![None; segs.len()];
+    let seg_edges = |si: usize,
+                     cache: &mut Vec<Option<Vec<dgr_grid::EdgeId>>>|
+     -> Result<Vec<dgr_grid::EdgeId>, PostError> {
+        if cache[si].is_none() {
+            let (_, _, a, b) = segs[si];
+            let mut edges = Vec::new();
+            grid.push_segment_edges(a, b, &mut edges)?;
+            cache[si] = Some(edges);
+        }
+        Ok(cache[si].clone().expect("just filled"))
+    };
+    let seg_cost = |si: usize,
+                    layer: u32,
+                    layer_demand: &[Vec<f32>],
+                    cache: &mut Vec<Option<Vec<dgr_grid::EdgeId>>>|
+     -> Result<f32, PostError> {
+        let dir = seg_dir(si);
+        let mut cost = 0.0;
+        for e in seg_edges(si, cache)? {
+            let cap = model.layer_capacity(design.capacity.capacity(e), dir);
+            let d = layer_demand[layer as usize][e.index()];
+            cost += cfg.overflow_weight * ((d + 1.0 - cap).max(0.0) - (d - cap).max(0.0));
+        }
+        Ok(cost)
+    };
+
+    // 3. tree DP from node 0 (post-order via explicit stack)
+    const INF: f32 = f32::INFINITY;
+    let mut dp = vec![vec![0.0f32; num_layers]; n_nodes];
+    // choice[child_seg][parent_layer] = chosen layer of that segment
+    let mut choice: Vec<Vec<u32>> = vec![vec![0; num_layers]; segs.len()];
+    let root = 0usize;
+    // iterative post-order
+    let mut visit_order = Vec::with_capacity(n_nodes);
+    let mut parent_seg = vec![usize::MAX; n_nodes];
+    {
+        let mut stack = vec![(root, usize::MAX)];
+        let mut seen = vec![false; n_nodes];
+        while let Some((v, pseg)) = stack.pop() {
+            if seen[v] {
+                continue;
+            }
+            seen[v] = true;
+            parent_seg[v] = pseg;
+            visit_order.push(v);
+            for &(si, u) in &adj[v] {
+                if !seen[u] {
+                    stack.push((u, si));
+                }
+            }
+        }
+    }
+    for &v in visit_order.iter().rev() {
+        for l in 0..num_layers {
+            let mut cost = if pins.contains(&points[v]) {
+                cfg.via_weight * l as f32
+            } else {
+                0.0
+            };
+            for &(si, u) in &adj[v] {
+                if parent_seg[u] != si {
+                    continue; // u is v's parent through si
+                }
+                // segment si connects v down to child u
+                let dir = seg_dir(si);
+                let mut best = INF;
+                let mut best_l = 0u32;
+                for &ls in &model.layers_of(dir) {
+                    let c = cfg.via_weight * (ls as f32 - l as f32).abs()
+                        + seg_cost(si, ls, layer_demand, &mut seg_edge_cache)?
+                        + dp[u][ls as usize];
+                    if c < best {
+                        best = c;
+                        best_l = ls;
+                    }
+                }
+                choice[si][l] = best_l;
+                cost += best;
+            }
+            dp[v][l] = cost;
+        }
+    }
+
+    // 4. pick the root layer and backtrack
+    let root_l = (0..num_layers)
+        .min_by(|&a, &b| dp[root][a].total_cmp(&dp[root][b]))
+        .expect("≥2 layers") as u32;
+    let mut seg_layer = vec![u32::MAX; segs.len()];
+    let mut stack = vec![(root, root_l)];
+    while let Some((v, l)) = stack.pop() {
+        for &(si, u) in &adj[v] {
+            if parent_seg[u] != si {
+                continue;
+            }
+            let ls = choice[si][l as usize];
+            seg_layer[si] = ls;
+            stack.push((u, ls));
+        }
+    }
+    // cycle-closing extras: pick the cheapest layer against the incident
+    // assigned layers
+    let node_layer = |node: usize, seg_layer: &[u32]| -> u32 {
+        adj[node]
+            .iter()
+            .map(|&(si, _)| seg_layer[si])
+            .find(|&l| l != u32::MAX)
+            .unwrap_or(0)
+    };
+    for si in 0..segs.len() {
+        if in_tree[si] || seg_layer[si] != u32::MAX {
+            continue;
+        }
+        let (na, nb, ..) = segs[si];
+        let (la, lb) = (node_layer(na, &seg_layer), node_layer(nb, &seg_layer));
+        let dir = seg_dir(si);
+        let mut best = INF;
+        let mut best_l = model.layers_of(dir)[0];
+        for &ls in &model.layers_of(dir) {
+            let c = cfg.via_weight
+                * ((ls as f32 - la as f32).abs() + (ls as f32 - lb as f32).abs())
+                + seg_cost(si, ls, layer_demand, &mut seg_edge_cache)?;
+            if c < best {
+                best = c;
+                best_l = ls;
+            }
+        }
+        seg_layer[si] = best_l;
+    }
+
+    // 5. commit demand and count vias exactly (layer span per node)
+    let mut segments = Vec::with_capacity(segs.len());
+    for (si, &(_, _, a, b)) in segs.iter().enumerate() {
+        let layer = seg_layer[si];
+        for e in seg_edges(si, &mut seg_edge_cache)? {
+            layer_demand[layer as usize][e.index()] += 1.0;
+        }
+        segments.push(Segment3d { a, b, layer });
+    }
+    let mut touch: HashMap<Point, (u32, u32)> = HashMap::new();
+    for s in &segments {
+        for p in [s.a, s.b] {
+            let e = touch.entry(p).or_insert((s.layer, s.layer));
+            e.0 = e.0.min(s.layer);
+            e.1 = e.1.max(s.layer);
+        }
+    }
+    let mut vias = 0u64;
+    for (p, (lo, hi)) in &touch {
+        let lo = if pins.contains(p) { 0 } else { *lo };
+        vias += (*hi - lo) as u64;
+    }
+
+    Ok(Net3d {
+        net: route.net,
+        segments,
+        vias,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_core::{NetRoute, RoutePath, SolutionMetrics};
+    use dgr_grid::{CapacityBuilder, DemandMap, GcellGrid, Net};
+
+    fn design(tracks: f32, nets: Vec<Net>, layers: u32) -> Design {
+        let grid = GcellGrid::new(10, 10).unwrap();
+        let cap = CapacityBuilder::uniform(&grid, tracks)
+            .build(&grid)
+            .unwrap();
+        Design::new(grid, cap, nets, layers).unwrap()
+    }
+
+    fn solution_for(design: &Design, routes: Vec<NetRoute>) -> RoutingSolution {
+        let mut sol = RoutingSolution {
+            routes,
+            demand: DemandMap::new(&design.grid),
+            metrics: SolutionMetrics {
+                total_wirelength: 0,
+                total_turns: 0,
+                overflow: Default::default(),
+            },
+            train_report: None,
+        };
+        sol.remeasure(design).unwrap();
+        sol
+    }
+
+    #[test]
+    fn straight_horizontal_wire_lands_on_horizontal_layer() {
+        let d = design(
+            4.0,
+            vec![Net::new("a", vec![Point::new(0, 0), Point::new(6, 0)])],
+            5,
+        );
+        let sol = solution_for(
+            &d,
+            vec![NetRoute {
+                net: 0,
+                tree: 0,
+                paths: vec![RoutePath {
+                    corners: vec![Point::new(0, 0), Point::new(6, 0)],
+                }],
+            }],
+        );
+        let a = assign_layers(&d, &sol, AssignConfig::default()).unwrap();
+        assert_eq!(a.nets[0].segments.len(), 1);
+        let s = a.nets[0].segments[0];
+        assert_eq!(
+            LayerModel::alternating(5, true).dir_of(s.layer),
+            EdgeDir::Horizontal
+        );
+        // pins at both ends: vias = 2 × layer (down to metal 0)
+        assert_eq!(a.nets[0].vias, 2 * s.layer as u64);
+        assert_eq!(a.overflowed_edges3d, 0);
+    }
+
+    #[test]
+    fn l_route_uses_two_layers_and_one_junction() {
+        let d = design(
+            4.0,
+            vec![Net::new("a", vec![Point::new(0, 0), Point::new(5, 5)])],
+            5,
+        );
+        let sol = solution_for(
+            &d,
+            vec![NetRoute {
+                net: 0,
+                tree: 0,
+                paths: vec![RoutePath {
+                    corners: vec![Point::new(0, 0), Point::new(5, 0), Point::new(5, 5)],
+                }],
+            }],
+        );
+        let a = assign_layers(&d, &sol, AssignConfig::default()).unwrap();
+        assert_eq!(a.nets[0].segments.len(), 2);
+        let dirs: Vec<EdgeDir> = a.nets[0]
+            .segments
+            .iter()
+            .map(|s| LayerModel::alternating(5, true).dir_of(s.layer))
+            .collect();
+        assert!(dirs.contains(&EdgeDir::Horizontal));
+        assert!(dirs.contains(&EdgeDir::Vertical));
+        // at least one via at the corner plus pin access
+        assert!(a.nets[0].vias >= 1);
+        assert_eq!(a.total_vias, a.nets[0].vias);
+    }
+
+    #[test]
+    fn congestion_spreads_across_layers() {
+        // 6 horizontal wires on the same row; 3 horizontal layers with
+        // per-layer capacity 2 each → DP must use all three layers
+        let nets: Vec<Net> = (0..6)
+            .map(|i| Net::new(format!("n{i}"), vec![Point::new(0, 4), Point::new(9, 4)]))
+            .collect();
+        let d = design(6.0, nets, 5);
+        let routes: Vec<NetRoute> = (0..6)
+            .map(|net| NetRoute {
+                net,
+                tree: 0,
+                paths: vec![RoutePath {
+                    corners: vec![Point::new(0, 4), Point::new(9, 4)],
+                }],
+            })
+            .collect();
+        let sol = solution_for(&d, routes);
+        let a = assign_layers(&d, &sol, AssignConfig::default()).unwrap();
+        let used: std::collections::HashSet<u32> =
+            a.nets.iter().map(|n| n.segments[0].layer).collect();
+        assert_eq!(used.len(), 3, "expected all horizontal layers used");
+        assert_eq!(a.overflowed_edges3d, 0);
+        assert_eq!(a.overflowed_nets, 0);
+    }
+
+    #[test]
+    fn overflow_is_detected_when_unavoidable() {
+        // 8 wires, 3 horizontal layers × capacity 2 = 6 → overflow
+        let nets: Vec<Net> = (0..8)
+            .map(|i| Net::new(format!("n{i}"), vec![Point::new(0, 4), Point::new(9, 4)]))
+            .collect();
+        let d = design(6.0, nets, 5);
+        let routes: Vec<NetRoute> = (0..8)
+            .map(|net| NetRoute {
+                net,
+                tree: 0,
+                paths: vec![RoutePath {
+                    corners: vec![Point::new(0, 4), Point::new(9, 4)],
+                }],
+            })
+            .collect();
+        let sol = solution_for(&d, routes);
+        let a = assign_layers(&d, &sol, AssignConfig::default()).unwrap();
+        assert!(a.overflowed_edges3d > 0);
+        assert!(a.overflowed_nets > 0);
+        assert!(a.total_overflow3d > 0.0);
+    }
+
+    #[test]
+    fn rejects_single_layer_design() {
+        let d = design(1.0, vec![], 1);
+        let sol = solution_for(&d, vec![]);
+        assert!(matches!(
+            assign_layers(&d, &sol, AssignConfig::default()),
+            Err(PostError::TooFewLayers { got: 1 })
+        ));
+    }
+
+    #[test]
+    fn vertical_first_stack_flips_directions() {
+        let d = design(
+            4.0,
+            vec![Net::new("a", vec![Point::new(0, 0), Point::new(6, 0)])],
+            5,
+        );
+        let sol = solution_for(
+            &d,
+            vec![NetRoute {
+                net: 0,
+                tree: 0,
+                paths: vec![RoutePath {
+                    corners: vec![Point::new(0, 0), Point::new(6, 0)],
+                }],
+            }],
+        );
+        let cfg = AssignConfig {
+            first_horizontal: false,
+            ..AssignConfig::default()
+        };
+        let a = assign_layers(&d, &sol, cfg).unwrap();
+        let s = a.nets[0].segments[0];
+        // with a vertical-first stack, horizontal wires live on odd layers
+        assert_eq!(
+            LayerModel::alternating(5, false).dir_of(s.layer),
+            EdgeDir::Horizontal
+        );
+        assert!(s.layer % 2 == 1);
+    }
+
+    #[test]
+    fn single_pin_net_has_no_segments_or_vias() {
+        let d = design(2.0, vec![Net::new("p", vec![Point::new(3, 3)])], 5);
+        let sol = solution_for(
+            &d,
+            vec![NetRoute {
+                net: 0,
+                tree: 0,
+                paths: vec![],
+            }],
+        );
+        let a = assign_layers(&d, &sol, AssignConfig::default()).unwrap();
+        assert!(a.nets[0].segments.is_empty());
+        assert_eq!(a.total_vias, 0);
+    }
+}

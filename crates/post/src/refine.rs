@@ -1,0 +1,326 @@
+//! Maze-routing refinement of congested nets (Section 4.6).
+//!
+//! After the pattern-routing solution is extracted, nets that cross
+//! overflowed g-cell edges are ripped up and rerouted with the maze
+//! engine under an overflow-penalized cost. This is the same refinement
+//! CUGR2 applies to DGR's 2D output before layer assignment.
+
+use dgr_baseline::cost::overflow_marginal;
+use dgr_baseline::maze::{maze_route, MazeConfig};
+use dgr_core::{RoutePath, RoutingSolution};
+use dgr_grid::{Design, Rect};
+
+use crate::PostError;
+
+/// Configuration of the refinement pass.
+#[derive(Debug, Clone, Copy)]
+pub struct RefineConfig {
+    /// Maximum rip-up/reroute rounds.
+    pub rounds: usize,
+    /// Overflow penalty added to the unit wire cost in the maze search.
+    pub overflow_penalty: f32,
+    /// Turn cost in the maze search (via proxy).
+    pub turn_cost: f32,
+    /// Search-window inflation around each sub-net's bounding box.
+    pub margin: i32,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            rounds: 2,
+            overflow_penalty: 1000.0,
+            turn_cost: 1.0,
+            margin: 8,
+        }
+    }
+}
+
+/// What the refinement accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineReport {
+    /// Rounds actually executed.
+    pub rounds: usize,
+    /// Nets rerouted in total (with multiplicity across rounds).
+    pub nets_rerouted: usize,
+    /// Overflowed edges before refinement.
+    pub overflowed_before: usize,
+    /// Overflowed edges after refinement.
+    pub overflowed_after: usize,
+}
+
+/// Reroutes nets crossing overflowed edges, in place. Only accepts a
+/// rerouted net if it does not worsen the solution's overflow.
+///
+/// # Errors
+///
+/// Propagates grid errors (impossible for solutions produced against the
+/// same design).
+pub fn refine(
+    design: &Design,
+    solution: &mut RoutingSolution,
+    cfg: RefineConfig,
+) -> Result<RefineReport, PostError> {
+    let grid = &design.grid;
+    let cap = &design.capacity;
+    let overflowed_before = solution.metrics.overflow.overflowed_edges;
+    let mut nets_rerouted = 0usize;
+    let mut rounds = 0usize;
+
+    for _ in 0..cfg.rounds {
+        let victims: Vec<usize> = {
+            let over: Vec<bool> = grid
+                .edge_ids()
+                .map(|e| solution.demand.total(grid, cap, e) > cap.capacity(e) + 1e-4)
+                .collect();
+            (0..solution.routes.len())
+                .filter(|&n| {
+                    solution.routes[n].paths.iter().any(|p| {
+                        p.corners.windows(2).any(|w| {
+                            let mut edges = Vec::new();
+                            grid.push_segment_edges(w[0], w[1], &mut edges)
+                                .map(|()| edges.iter().any(|e| over[e.index()]))
+                                .unwrap_or(false)
+                        })
+                    })
+                })
+                .collect()
+        };
+        if victims.is_empty() {
+            break;
+        }
+        rounds += 1;
+        for &n in &victims {
+            // rip up net n
+            let old_paths = solution.routes[n].paths.clone();
+            for path in &old_paths {
+                for w in path.corners.windows(2) {
+                    solution.demand.remove_segment(grid, w[0], w[1])?;
+                }
+                let k = path.corners.len();
+                if k > 2 {
+                    for c in &path.corners[1..k - 1] {
+                        solution.demand.remove_turn(grid, *c)?;
+                    }
+                }
+            }
+            // reroute each sub-net by maze under overflow penalty
+            let mut new_paths = Vec::with_capacity(old_paths.len());
+            let mut ok = true;
+            for path in &old_paths {
+                let (a, b) = (
+                    *path.corners.first().expect("non-empty"),
+                    *path.corners.last().expect("non-empty"),
+                );
+                if a == b {
+                    new_paths.push(path.clone());
+                    continue;
+                }
+                let mcfg = MazeConfig {
+                    bounds: Some(
+                        Rect::bounding(&[a, b]).inflate_clamped(cfg.margin, grid.bounds()),
+                    ),
+                    turn_cost: cfg.turn_cost,
+                };
+                let demand = &solution.demand;
+                let cost_fn =
+                    |e| 1.0 + cfg.overflow_penalty * overflow_marginal(grid, cap, demand, e);
+                // windowed search, escalating to the full grid when the
+                // window cannot dodge the congestion
+                let windowed = maze_route(grid, a, b, cost_fn, &mcfg).filter(|corners| {
+                    corners.windows(2).all(|w| {
+                        let mut edges = Vec::new();
+                        grid.push_segment_edges(w[0], w[1], &mut edges)
+                            .map(|()| {
+                                edges
+                                    .iter()
+                                    .all(|&e| overflow_marginal(grid, cap, demand, e) <= 0.0)
+                            })
+                            .unwrap_or(false)
+                    })
+                });
+                let escalated = windowed.or_else(|| {
+                    maze_route(
+                        grid,
+                        a,
+                        b,
+                        cost_fn,
+                        &MazeConfig {
+                            bounds: None,
+                            turn_cost: cfg.turn_cost,
+                        },
+                    )
+                });
+                match escalated {
+                    Some(corners) => {
+                        let p = RoutePath { corners };
+                        for w in p.corners.windows(2) {
+                            solution.demand.add_segment(grid, w[0], w[1])?;
+                        }
+                        let k = p.corners.len();
+                        if k > 2 {
+                            for c in &p.corners[1..k - 1] {
+                                solution.demand.add_turn(grid, *c)?;
+                            }
+                        }
+                        new_paths.push(p);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                solution.routes[n].paths = new_paths;
+                nets_rerouted += 1;
+            } else {
+                // roll back: remove whatever was committed, restore old
+                for p in &new_paths {
+                    for w in p.corners.windows(2) {
+                        solution.demand.remove_segment(grid, w[0], w[1])?;
+                    }
+                    let k = p.corners.len();
+                    if k > 2 {
+                        for c in &p.corners[1..k - 1] {
+                            solution.demand.remove_turn(grid, *c)?;
+                        }
+                    }
+                }
+                for path in &old_paths {
+                    for w in path.corners.windows(2) {
+                        solution.demand.add_segment(grid, w[0], w[1])?;
+                    }
+                    let k = path.corners.len();
+                    if k > 2 {
+                        for c in &path.corners[1..k - 1] {
+                            solution.demand.add_turn(grid, *c)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    solution.remeasure(design)?;
+    Ok(RefineReport {
+        rounds,
+        nets_rerouted,
+        overflowed_before,
+        overflowed_after: solution.metrics.overflow.overflowed_edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgr_core::{NetRoute, SolutionMetrics};
+    use dgr_grid::{CapacityBuilder, DemandMap, GcellGrid, Net, Point};
+
+    fn overflowing_solution() -> (Design, RoutingSolution) {
+        // two nets stacked on the same row although a free row exists
+        let grid = GcellGrid::new(10, 10).unwrap();
+        let cap = CapacityBuilder::uniform(&grid, 1.5).build(&grid).unwrap();
+        let design = Design::new(
+            grid,
+            cap,
+            vec![
+                Net::new("a", vec![Point::new(0, 5), Point::new(9, 5)]),
+                Net::new("b", vec![Point::new(1, 5), Point::new(8, 5)]),
+            ],
+            5,
+        )
+        .unwrap();
+        let routes = vec![
+            NetRoute {
+                net: 0,
+                tree: 0,
+                paths: vec![RoutePath {
+                    corners: vec![Point::new(0, 5), Point::new(9, 5)],
+                }],
+            },
+            NetRoute {
+                net: 1,
+                tree: 0,
+                paths: vec![RoutePath {
+                    corners: vec![Point::new(1, 5), Point::new(8, 5)],
+                }],
+            },
+        ];
+        let mut sol = RoutingSolution {
+            routes,
+            demand: DemandMap::new(&design.grid),
+            metrics: SolutionMetrics {
+                total_wirelength: 0,
+                total_turns: 0,
+                overflow: Default::default(),
+            },
+            train_report: None,
+        };
+        sol.remeasure(&design).unwrap();
+        (design, sol)
+    }
+
+    #[test]
+    fn refinement_removes_avoidable_overflow() {
+        let (design, mut sol) = overflowing_solution();
+        assert!(sol.metrics.overflow.overflowed_edges > 0);
+        let report = refine(&design, &mut sol, RefineConfig::default()).unwrap();
+        assert_eq!(report.overflowed_after, 0, "refinement failed: {report:?}");
+        assert!(report.nets_rerouted >= 1);
+        assert!(report.overflowed_before > report.overflowed_after);
+        // the solution metrics were re-measured
+        assert_eq!(
+            sol.metrics.overflow.overflowed_edges,
+            report.overflowed_after
+        );
+    }
+
+    #[test]
+    fn refinement_is_a_noop_on_clean_solutions() {
+        let grid = GcellGrid::new(10, 10).unwrap();
+        let cap = CapacityBuilder::uniform(&grid, 4.0).build(&grid).unwrap();
+        let design = Design::new(
+            grid,
+            cap,
+            vec![Net::new("a", vec![Point::new(0, 0), Point::new(9, 0)])],
+            5,
+        )
+        .unwrap();
+        let mut sol = RoutingSolution {
+            routes: vec![NetRoute {
+                net: 0,
+                tree: 0,
+                paths: vec![RoutePath {
+                    corners: vec![Point::new(0, 0), Point::new(9, 0)],
+                }],
+            }],
+            demand: DemandMap::new(&design.grid),
+            metrics: SolutionMetrics {
+                total_wirelength: 0,
+                total_turns: 0,
+                overflow: Default::default(),
+            },
+            train_report: None,
+        };
+        sol.remeasure(&design).unwrap();
+        let before = sol.clone();
+        let report = refine(&design, &mut sol, RefineConfig::default()).unwrap();
+        assert_eq!(report.rounds, 0);
+        assert_eq!(report.nets_rerouted, 0);
+        assert_eq!(
+            sol.metrics.total_wirelength,
+            before.metrics.total_wirelength
+        );
+    }
+
+    #[test]
+    fn wirelength_may_grow_but_overflow_shrinks() {
+        let (design, mut sol) = overflowing_solution();
+        let wl_before = sol.metrics.total_wirelength;
+        let ov_before = sol.metrics.overflow.total_overflow;
+        refine(&design, &mut sol, RefineConfig::default()).unwrap();
+        assert!(sol.metrics.overflow.total_overflow < ov_before);
+        assert!(sol.metrics.total_wirelength >= wl_before);
+    }
+}

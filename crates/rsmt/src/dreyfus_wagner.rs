@@ -1,0 +1,313 @@
+//! Exact rectilinear Steiner minimum trees via Dreyfus–Wagner.
+//!
+//! By Hanan's theorem an optimal RSMT exists whose Steiner points lie on
+//! the [Hanan grid](crate::hanan::HananGrid). The Hanan grid graph is a
+//! full mesh geometrically, so the shortest-path metric between Hanan
+//! points is plain Manhattan distance, and Dreyfus–Wagner can run directly
+//! on the metric closure: the "grow" step becomes a single min-plus pass
+//! instead of a Dijkstra.
+//!
+//! Complexity is `O(3^k · n + 2^k · n²)` for `k` pins and `n` Hanan points
+//! — instant for the `k ≤ 8` nets this crate routes exactly.
+
+use dgr_grid::Point;
+
+use crate::hanan::HananGrid;
+use crate::tree::{dedup_pins, RoutingTree};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    /// Base case: the tree is the direct edge `t_bit — v`.
+    Leaf,
+    /// The tree splits at `v` into sub-trees for `submask` and its
+    /// complement.
+    Split { submask: u32 },
+    /// The tree is the best tree at `u` extended by the edge `u — v`.
+    Extend { u: u32 },
+}
+
+/// Computes an exact rectilinear Steiner minimum tree over `pins`.
+///
+/// Duplicate pins are merged. The result's [`RoutingTree::length`] equals
+/// the optimal RSMT length; ties are broken arbitrarily but
+/// deterministically.
+///
+/// # Panics
+///
+/// Panics if `pins` is empty, or if the distinct pin count exceeds 16
+/// (the DP bitmask width) — callers should dispatch through [`crate::rsmt`],
+/// which routes big nets to the heuristic instead.
+///
+/// # Examples
+///
+/// ```
+/// use dgr_grid::Point;
+/// use dgr_rsmt::exact_steiner;
+///
+/// // 3 corners of a square: one Steiner point, length 4 instead of 6.
+/// let t = exact_steiner(&[Point::new(0, 0), Point::new(2, 0), Point::new(0, 2)]);
+/// assert_eq!(t.length(), 4);
+/// ```
+pub fn exact_steiner(pins: &[Point]) -> RoutingTree {
+    let terminals = dedup_pins(pins);
+    assert!(!terminals.is_empty(), "exact_steiner of zero pins");
+    assert!(
+        terminals.len() <= 16,
+        "exact_steiner limited to 16 pins, got {}",
+        terminals.len()
+    );
+    let k = terminals.len();
+    if k == 1 {
+        return RoutingTree::singleton(terminals[0]);
+    }
+    if k == 2 {
+        return RoutingTree::from_parts(terminals, 2, vec![(0, 1)]);
+    }
+
+    let hanan = HananGrid::new(&terminals);
+    let n = hanan.num_points();
+    let points: Vec<Point> = hanan.points().collect();
+    let term_idx: Vec<u32> = terminals
+        .iter()
+        .map(|&t| hanan.index_of(t).expect("pin on own hanan grid") as u32)
+        .collect();
+
+    let dist = |a: usize, b: usize| -> u32 { points[a].manhattan_distance(points[b]) };
+
+    // DP over subsets of the first k-1 terminals; the last terminal is the
+    // root that the final tree must reach.
+    let num_masks = 1usize << (k - 1);
+    let mut cost = vec![u32::MAX; num_masks * n];
+    let mut back = vec![Choice::Leaf; num_masks * n];
+    let at = |mask: usize, v: usize| mask * n + v;
+
+    #[allow(clippy::needless_range_loop)] // `bit` is mask arithmetic, not just an index
+    for bit in 0..k - 1 {
+        let t = term_idx[bit] as usize;
+        let mask = 1usize << bit;
+        for v in 0..n {
+            cost[at(mask, v)] = dist(t, v);
+            back[at(mask, v)] = Choice::Leaf;
+        }
+    }
+
+    for mask in 1..num_masks {
+        if mask.count_ones() >= 2 {
+            // combine step: split the terminal set at v
+            let mut submask = (mask - 1) & mask;
+            while submask > 0 {
+                let other = mask ^ submask;
+                if submask < other {
+                    // each unordered pair visited once
+                    for v in 0..n {
+                        let a = cost[at(submask, v)];
+                        let b = cost[at(other, v)];
+                        if a != u32::MAX && b != u32::MAX {
+                            let c = a + b;
+                            if c < cost[at(mask, v)] {
+                                cost[at(mask, v)] = c;
+                                back[at(mask, v)] = Choice::Split {
+                                    submask: submask as u32,
+                                };
+                            }
+                        }
+                    }
+                }
+                submask = (submask - 1) & mask;
+            }
+        }
+        // Grow step: relax from every u. With a metric one pass over all
+        // (u, v) pairs is exact because dist satisfies the triangle
+        // inequality, so a multi-hop extension never beats a direct one.
+        let snapshot: Vec<u32> = (0..n).map(|u| cost[at(mask, u)]).collect();
+        for v in 0..n {
+            for (u, &cu) in snapshot.iter().enumerate() {
+                if cu == u32::MAX || u == v {
+                    continue;
+                }
+                let c = cu + dist(u, v);
+                if c < cost[at(mask, v)] {
+                    cost[at(mask, v)] = c;
+                    back[at(mask, v)] = Choice::Extend { u: u as u32 };
+                }
+            }
+        }
+    }
+
+    // Reconstruct edges from the backtrace.
+    let full = num_masks - 1;
+    let root = term_idx[k - 1] as usize;
+    let mut edges_pts: Vec<(Point, Point)> = Vec::new();
+    let mut stack = vec![(full, root)];
+    while let Some((mask, v)) = stack.pop() {
+        match back[at(mask, v)] {
+            Choice::Leaf => {
+                debug_assert_eq!(mask.count_ones(), 1);
+                let bit = mask.trailing_zeros() as usize;
+                let t = term_idx[bit] as usize;
+                if t != v {
+                    edges_pts.push((points[t], points[v]));
+                }
+            }
+            Choice::Split { submask } => {
+                stack.push((submask as usize, v));
+                stack.push((mask ^ submask as usize, v));
+            }
+            Choice::Extend { u } => {
+                edges_pts.push((points[u as usize], points[v]));
+                stack.push((mask, u as usize));
+            }
+        }
+    }
+
+    // Materialize the tree: terminals first, then any Steiner endpoints.
+    let mut nodes = terminals.clone();
+    let mut index_of = std::collections::HashMap::new();
+    for (i, &t) in nodes.iter().enumerate() {
+        index_of.insert(t, i as u32);
+    }
+    let mut edges = Vec::with_capacity(edges_pts.len());
+    for (a, b) in edges_pts {
+        let ia = *index_of.entry(a).or_insert_with(|| {
+            nodes.push(a);
+            (nodes.len() - 1) as u32
+        });
+        let ib = *index_of.entry(b).or_insert_with(|| {
+            nodes.push(b);
+            (nodes.len() - 1) as u32
+        });
+        edges.push((ia, ib));
+    }
+    RoutingTree::from_parts(nodes, k, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::rmst_length;
+
+    #[test]
+    fn two_pins_direct_edge() {
+        let t = exact_steiner(&[Point::new(0, 0), Point::new(5, 3)]);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 8);
+    }
+
+    #[test]
+    fn l_corner_three_pins_uses_steiner() {
+        // (0,0), (4,0), (4,4): corner (4,0) is a pin — no steiner needed
+        let t = exact_steiner(&[Point::new(0, 0), Point::new(4, 0), Point::new(4, 4)]);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 8);
+    }
+
+    #[test]
+    fn t_shape_three_pins() {
+        // MST: 4+4=8 via two edges; Steiner point at (2,0) gives 2+2+2=6
+        let t = exact_steiner(&[Point::new(0, 0), Point::new(4, 0), Point::new(2, 2)]);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 6);
+    }
+
+    #[test]
+    fn four_pin_cross_saves_over_mst() {
+        let pins = [
+            Point::new(0, 1),
+            Point::new(2, 0),
+            Point::new(2, 2),
+            Point::new(4, 1),
+        ];
+        let t = exact_steiner(&pins);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 6);
+        assert!(t.length() < rmst_length(&pins));
+    }
+
+    #[test]
+    fn square_corners_four_pins() {
+        let pins = [
+            Point::new(0, 0),
+            Point::new(0, 2),
+            Point::new(2, 0),
+            Point::new(2, 2),
+        ];
+        let t = exact_steiner(&pins);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 6); // equals the MST; no Steiner gain
+    }
+
+    #[test]
+    fn steiner_never_beats_half_perimeter_lower_bound() {
+        use dgr_grid::Rect;
+        let pins = [
+            Point::new(0, 0),
+            Point::new(7, 1),
+            Point::new(3, 6),
+            Point::new(5, 4),
+            Point::new(1, 3),
+        ];
+        let t = exact_steiner(&pins);
+        t.validate().unwrap();
+        let hpwl = Rect::bounding(&pins).half_perimeter() as u64;
+        assert!(t.length() >= hpwl);
+        assert!(t.length() <= rmst_length(&pins));
+    }
+
+    #[test]
+    fn collinear_pins_cost_span() {
+        let pins = [Point::new(0, 0), Point::new(3, 0), Point::new(7, 0)];
+        let t = exact_steiner(&pins);
+        assert_eq!(t.length(), 7);
+    }
+
+    #[test]
+    fn duplicate_pins_merge() {
+        let t = exact_steiner(&[Point::new(1, 1), Point::new(1, 1), Point::new(4, 1)]);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 3);
+    }
+
+    /// Brute-force reference: enumerate every subset of Hanan points as
+    /// Steiner candidates and take the best MST over pins ∪ subset.
+    fn brute_force_rsmt_len(pins: &[Point]) -> u64 {
+        let hanan = HananGrid::new(pins);
+        let extra: Vec<Point> = hanan.points().filter(|p| !pins.contains(p)).collect();
+        let mut best = rmst_length(pins);
+        for mask in 1u32..(1 << extra.len()) {
+            let mut pts = pins.to_vec();
+            for (i, &e) in extra.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    pts.push(e);
+                }
+            }
+            // MST over pins+steiner overestimates unless steiner nodes are
+            // useful, but the minimum over all subsets is the RSMT length.
+            best = best.min(crate::mst::rmst(&pts).length());
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        let cases: Vec<Vec<Point>> = vec![
+            vec![Point::new(0, 0), Point::new(3, 1), Point::new(1, 3)],
+            vec![
+                Point::new(0, 2),
+                Point::new(2, 0),
+                Point::new(4, 2),
+                Point::new(2, 4),
+            ],
+            vec![
+                Point::new(0, 0),
+                Point::new(1, 2),
+                Point::new(3, 1),
+                Point::new(2, 3),
+            ],
+        ];
+        for pins in cases {
+            let dw = exact_steiner(&pins).length();
+            let bf = brute_force_rsmt_len(&pins);
+            assert_eq!(dw, bf, "mismatch on {pins:?}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+#![warn(missing_docs)]
+
+//! Rectilinear Steiner tree construction for the DGR global router.
+//!
+//! The DGR paper feeds FLUTE trees (plus CUGR2's congestion-refined
+//! variants) into its DAG forest. FLUTE's lookup tables are not
+//! redistributable, so this crate provides an equivalent tree source built
+//! from first principles:
+//!
+//! * [`rmst`] — rectilinear minimum *spanning* tree (Prim, O(n²)),
+//! * [`rsmt`] — rectilinear Steiner minimum tree: **exact** for small nets
+//!   (Dreyfus–Wagner dynamic programming over the Hanan grid, optimal by
+//!   Hanan's theorem) and a Steinerized-RMST heuristic for large nets,
+//! * [`tree_candidates`] — a pool of topologically distinct tree candidates
+//!   per net (base RSMT, spanning-tree topology, randomized and
+//!   congestion-shifted variants), the raw material of the DAG forest.
+//!
+//! # Examples
+//!
+//! ```
+//! use dgr_grid::Point;
+//! use dgr_rsmt::rsmt;
+//!
+//! // The classic 4-pin cross: a Steiner point saves wirelength.
+//! let pins = [
+//!     Point::new(0, 1),
+//!     Point::new(2, 0),
+//!     Point::new(2, 2),
+//!     Point::new(4, 1),
+//! ];
+//! let tree = rsmt(&pins)?;
+//! assert!(tree.length() <= 6);
+//! # Ok::<(), dgr_rsmt::RsmtError>(())
+//! ```
+
+pub mod candidates;
+pub mod dreyfus_wagner;
+pub mod hanan;
+pub mod mst;
+pub mod salt;
+pub mod steinerize;
+pub mod tree;
+
+pub use candidates::{tree_candidates, CandidateConfig};
+pub use dreyfus_wagner::exact_steiner;
+pub use mst::rmst;
+pub use salt::shallow_light_tree;
+pub use tree::RoutingTree;
+
+/// Number of pins up to which [`rsmt`] computes an exact optimum.
+///
+/// Dreyfus–Wagner is exponential in the pin count; 8 pins over an ≤ 8×8
+/// Hanan grid stays well under a millisecond.
+pub const EXACT_PIN_LIMIT: usize = 8;
+
+/// Errors produced by Steiner tree construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsmtError {
+    /// A net with no pins has no tree.
+    NoPins,
+    /// The produced structure failed its internal validity check
+    /// (diagnostic; indicates a bug rather than bad input).
+    InvalidTree(String),
+}
+
+impl std::fmt::Display for RsmtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsmtError::NoPins => write!(f, "net has no pins"),
+            RsmtError::InvalidTree(why) => write!(f, "constructed tree is invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RsmtError {}
+
+/// Builds a rectilinear Steiner minimum tree over `pins`.
+///
+/// Duplicate pins are merged. Nets with at most [`EXACT_PIN_LIMIT`] distinct
+/// pins get a provably optimal tree via [`exact_steiner`]; larger nets use
+/// [`steinerize::steinerized_rmst`].
+///
+/// # Errors
+///
+/// Returns [`RsmtError::NoPins`] for an empty pin list.
+///
+/// # Examples
+///
+/// ```
+/// use dgr_grid::Point;
+/// let tree = dgr_rsmt::rsmt(&[Point::new(0, 0), Point::new(3, 4)])?;
+/// assert_eq!(tree.length(), 7);
+/// # Ok::<(), dgr_rsmt::RsmtError>(())
+/// ```
+pub fn rsmt(pins: &[dgr_grid::Point]) -> Result<RoutingTree, RsmtError> {
+    let unique = tree::dedup_pins(pins);
+    if unique.is_empty() {
+        return Err(RsmtError::NoPins);
+    }
+    if unique.len() <= EXACT_PIN_LIMIT {
+        Ok(exact_steiner(&unique))
+    } else {
+        Ok(steinerize::steinerized_rmst(&unique))
+    }
+}

@@ -1,0 +1,125 @@
+//! Rectilinear minimum spanning tree (Prim's algorithm).
+
+use dgr_grid::Point;
+
+use crate::tree::{dedup_pins, RoutingTree};
+
+/// Builds the rectilinear minimum spanning tree over `pins` with Prim's
+/// algorithm in O(n²) — no Steiner points, only pin-to-pin edges.
+///
+/// Duplicate pins are merged first. An empty input produces an empty
+/// singleton-free tree is impossible, so the function panics; use
+/// [`crate::rsmt`] for fallible dispatch.
+///
+/// # Panics
+///
+/// Panics if `pins` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use dgr_grid::Point;
+/// use dgr_rsmt::rmst;
+///
+/// let t = rmst(&[Point::new(0, 0), Point::new(2, 0), Point::new(2, 3)]);
+/// assert_eq!(t.length(), 5);
+/// ```
+pub fn rmst(pins: &[Point]) -> RoutingTree {
+    let pts = dedup_pins(pins);
+    assert!(!pts.is_empty(), "rmst of zero pins");
+    let n = pts.len();
+    if n == 1 {
+        return RoutingTree::singleton(pts[0]);
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![u32::MAX; n];
+    let mut best_from = vec![0u32; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for j in 1..n {
+        best_dist[j] = pts[0].manhattan_distance(pts[j]);
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_dist = u32::MAX;
+        for j in 0..n {
+            if !in_tree[j] && best_dist[j] < pick_dist {
+                pick = j;
+                pick_dist = best_dist[j];
+            }
+        }
+        debug_assert!(pick != usize::MAX);
+        in_tree[pick] = true;
+        edges.push((best_from[pick], pick as u32));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = pts[pick].manhattan_distance(pts[j]);
+                if d < best_dist[j] {
+                    best_dist[j] = d;
+                    best_from[j] = pick as u32;
+                }
+            }
+        }
+    }
+    RoutingTree::from_parts(pts, n, edges)
+}
+
+/// Total length of the rectilinear MST without materializing the tree —
+/// a cheap lower-quality bound used in tests and candidate scoring.
+pub fn rmst_length(pins: &[Point]) -> u64 {
+    if pins.len() <= 1 {
+        return 0;
+    }
+    rmst(pins).length()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_pin() {
+        let t = rmst(&[Point::new(5, 5)]);
+        assert_eq!(t.length(), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn collinear_pins_form_a_path() {
+        let t = rmst(&[Point::new(0, 0), Point::new(5, 0), Point::new(2, 0)]);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 5);
+    }
+
+    #[test]
+    fn square_corners() {
+        let t = rmst(&[
+            Point::new(0, 0),
+            Point::new(0, 2),
+            Point::new(2, 0),
+            Point::new(2, 2),
+        ]);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 6);
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let t = rmst(&[Point::new(0, 0), Point::new(0, 0), Point::new(1, 0)]);
+        t.validate().unwrap();
+        assert_eq!(t.nodes().len(), 2);
+        assert_eq!(t.length(), 1);
+    }
+
+    #[test]
+    fn mst_length_is_optimal_for_three_points() {
+        // brute-force check: for 3 points MST length is the min over the
+        // three possible spanning trees
+        let pts = [Point::new(0, 0), Point::new(4, 1), Point::new(2, 5)];
+        let d01 = pts[0].manhattan_distance(pts[1]) as u64;
+        let d02 = pts[0].manhattan_distance(pts[2]) as u64;
+        let d12 = pts[1].manhattan_distance(pts[2]) as u64;
+        let best = (d01 + d02).min(d01 + d12).min(d02 + d12);
+        assert_eq!(rmst(&pts).length(), best);
+    }
+}

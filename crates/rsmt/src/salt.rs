@@ -1,0 +1,225 @@
+//! Shallow-light routing trees (SALT-style).
+//!
+//! SALT (Chen & Young, TCAD'19) builds trees that are simultaneously
+//! *light* (total length within a constant of the Steiner minimum) and
+//! *shallow* (every source-to-pin pathlength within `(1+ε)` of its
+//! Manhattan distance). The DGR paper names SALT as a drop-in source of
+//! additional tree candidates for the DAG forest; this module provides a
+//! simplified variant with the same guarantee structure:
+//!
+//! 1. start from the (exact or heuristic) RSMT,
+//! 2. measure every pin's pathlength from the source (pin 0),
+//! 3. pins that violate the `(1+ε)` bound are *grafted*: their tree edge
+//!    is replaced by a direct connection toward the source,
+//! 4. repeat until every pin satisfies the bound.
+//!
+//! Smaller `ε` yields shallower (more star-like) trees at higher length;
+//! `ε = ∞` degenerates to the RSMT itself.
+
+use dgr_grid::Point;
+
+use crate::tree::{dedup_pins, RoutingTree};
+use crate::RsmtError;
+
+/// Builds a shallow-light tree over `pins` with shallowness bound
+/// `(1 + epsilon)`.
+///
+/// Pin 0 is the source (driver). The result satisfies, for every pin
+/// `p`, `pathlength(source → p) ≤ (1 + epsilon) · dist(source, p)` in the
+/// tree's virtual-edge metric.
+///
+/// # Errors
+///
+/// Returns [`RsmtError::NoPins`] for an empty pin list.
+///
+/// # Examples
+///
+/// ```
+/// use dgr_grid::Point;
+/// use dgr_rsmt::salt::shallow_light_tree;
+///
+/// // a chain that an RSMT would route serially: with a tight bound the
+/// // far pin connects (almost) directly to the source
+/// let pins = [
+///     Point::new(0, 0),
+///     Point::new(10, 1),
+///     Point::new(20, 0),
+/// ];
+/// let tight = shallow_light_tree(&pins, 0.0)?;
+/// tight.validate().unwrap();
+/// # Ok::<(), dgr_rsmt::RsmtError>(())
+/// ```
+pub fn shallow_light_tree(pins: &[Point], epsilon: f64) -> Result<RoutingTree, RsmtError> {
+    let unique = dedup_pins(pins);
+    if unique.is_empty() {
+        return Err(RsmtError::NoPins);
+    }
+    let base = crate::rsmt(&unique)?;
+    if unique.len() <= 2 {
+        return Ok(base);
+    }
+    let source = unique[0];
+
+    // adjacency over the base tree
+    let nodes: Vec<Point> = base.nodes().to_vec();
+    let n = nodes.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in base.edges() {
+        adj[a as usize].push(b as usize);
+        adj[b as usize].push(a as usize);
+    }
+    let src_idx = nodes
+        .iter()
+        .position(|&p| p == source)
+        .expect("source is a tree node");
+
+    // BFS-order pathlengths from the source (tree metric)
+    let mut parent = vec![usize::MAX; n];
+    let mut depth = vec![u64::MAX; n];
+    let mut order = vec![src_idx];
+    depth[src_idx] = 0;
+    let mut head = 0;
+    while head < order.len() {
+        let v = order[head];
+        head += 1;
+        for &u in &adj[v] {
+            if depth[u] == u64::MAX {
+                depth[u] = depth[v] + nodes[v].manhattan_distance(nodes[u]) as u64;
+                parent[u] = v;
+                order.push(u);
+            }
+        }
+    }
+
+    // graft violating pins: reconnect them straight to the source
+    // (processing in increasing distance keeps earlier grafts valid)
+    let mut edges: Vec<(u32, u32)> = base.edges().to_vec();
+    let mut grafted = false;
+    let mut by_distance: Vec<usize> = (0..n).collect();
+    by_distance.sort_by_key(|&v| nodes[v].manhattan_distance(source));
+    for v in by_distance {
+        if v == src_idx || depth[v] == u64::MAX {
+            continue;
+        }
+        let direct = nodes[v].manhattan_distance(source) as f64;
+        if depth[v] as f64 > (1.0 + epsilon) * direct {
+            // replace the edge to the parent with a direct source link
+            let p = parent[v];
+            edges.retain(|&(a, b)| {
+                !((a as usize == v && b as usize == p) || (a as usize == p && b as usize == v))
+            });
+            edges.push((src_idx as u32, v as u32));
+            grafted = true;
+            // update the subtree depths below v
+            let delta_new = direct as i64 - depth[v] as i64;
+            let mut stack = vec![v];
+            let mut seen = vec![false; n];
+            seen[v] = true;
+            seen[src_idx] = true;
+            while let Some(w) = stack.pop() {
+                depth[w] = (depth[w] as i64 + delta_new) as u64;
+                for &u in &adj[w] {
+                    if !seen[u] && parent[u] == w {
+                        seen[u] = true;
+                        stack.push(u);
+                    }
+                }
+            }
+        }
+    }
+    if !grafted {
+        return Ok(base);
+    }
+    Ok(RoutingTree::from_parts(nodes, base.num_pins(), edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pathlength_from_source(tree: &RoutingTree, source: Point, pin: Point) -> u64 {
+        // BFS over the virtual-edge tree
+        let nodes = tree.nodes();
+        let n = nodes.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in tree.edges() {
+            adj[a as usize].push(b as usize);
+            adj[b as usize].push(a as usize);
+        }
+        let s = nodes.iter().position(|&p| p == source).unwrap();
+        let t = nodes.iter().position(|&p| p == pin).unwrap();
+        let mut dist = vec![u64::MAX; n];
+        dist[s] = 0;
+        let mut queue = std::collections::VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            for &u in &adj[v] {
+                if dist[u] == u64::MAX {
+                    dist[u] = dist[v] + nodes[v].manhattan_distance(nodes[u]) as u64;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist[t]
+    }
+
+    #[test]
+    fn tight_epsilon_bounds_every_pathlength() {
+        let pins = [
+            Point::new(0, 0),
+            Point::new(10, 1),
+            Point::new(20, 0),
+            Point::new(15, 8),
+            Point::new(3, 12),
+        ];
+        let t = shallow_light_tree(&pins, 0.0).unwrap();
+        t.validate().unwrap();
+        for &p in &pins[1..] {
+            let pl = pathlength_from_source(&t, pins[0], p);
+            let direct = pins[0].manhattan_distance(p) as u64;
+            assert!(
+                pl <= direct,
+                "pin {p}: pathlength {pl} exceeds (1+0)·{direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn loose_epsilon_returns_the_rsmt() {
+        let pins = [Point::new(0, 0), Point::new(10, 1), Point::new(20, 0)];
+        let loose = shallow_light_tree(&pins, 100.0).unwrap();
+        let base = crate::rsmt(&pins).unwrap();
+        assert_eq!(loose.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn shallow_tree_trades_length_for_depth() {
+        let pins = [
+            Point::new(0, 0),
+            Point::new(8, 1),
+            Point::new(16, 0),
+            Point::new(24, 1),
+        ];
+        let light = shallow_light_tree(&pins, 100.0).unwrap();
+        let shallow = shallow_light_tree(&pins, 0.0).unwrap();
+        assert!(shallow.length() >= light.length());
+        let far = pins[3];
+        let pl_shallow = pathlength_from_source(&shallow, pins[0], far);
+        let pl_light = pathlength_from_source(&light, pins[0], far);
+        assert!(pl_shallow <= pl_light);
+    }
+
+    #[test]
+    fn two_pin_net_is_untouched() {
+        let pins = [Point::new(0, 0), Point::new(5, 5)];
+        let t = shallow_light_tree(&pins, 0.0).unwrap();
+        assert_eq!(t.length(), 10);
+    }
+
+    #[test]
+    fn empty_pins_error() {
+        assert!(matches!(
+            shallow_light_tree(&[], 0.5),
+            Err(RsmtError::NoPins)
+        ));
+    }
+}

@@ -1,0 +1,194 @@
+//! Steinerized-RMST heuristic for high-degree nets.
+//!
+//! Nets above [`crate::EXACT_PIN_LIMIT`] pins are too large for exact
+//! Dreyfus–Wagner. This module applies the classic edge-pair
+//! Steinerization: start from the rectilinear MST and repeatedly replace a
+//! pair of tree edges sharing an endpoint by a 3-edge star through the
+//! component-wise **median** of the three involved points, whenever that
+//! reduces total length. The median point is the optimal Steiner point for
+//! three terminals in the L1 metric, so every accepted move is locally
+//! optimal. This yields the same quality class as FLUTE's decomposition of
+//! high-degree nets.
+
+use dgr_grid::Point;
+
+use crate::mst::rmst;
+use crate::tree::{dedup_pins, RoutingTree};
+
+/// The component-wise median of three points — the optimal rectilinear
+/// Steiner point for exactly three terminals.
+pub fn median3(a: Point, b: Point, c: Point) -> Point {
+    fn med(a: i32, b: i32, c: i32) -> i32 {
+        a.max(b).min(a.max(c)).min(b.max(c))
+    }
+    Point::new(med(a.x, b.x, c.x), med(a.y, b.y, c.y))
+}
+
+/// Builds a Steinerized rectilinear spanning tree over `pins`.
+///
+/// Runs Prim's RMST and then greedily applies median-point Steinerization
+/// until no improving move remains. The result is never longer than the
+/// RMST.
+///
+/// # Panics
+///
+/// Panics if `pins` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use dgr_grid::Point;
+/// use dgr_rsmt::steinerize::steinerized_rmst;
+///
+/// let pins = [Point::new(0, 0), Point::new(4, 0), Point::new(2, 2)];
+/// let t = steinerized_rmst(&pins);
+/// assert_eq!(t.length(), 6); // one Steiner point at (2, 0)
+/// ```
+pub fn steinerized_rmst(pins: &[Point]) -> RoutingTree {
+    let unique = dedup_pins(pins);
+    assert!(!unique.is_empty(), "steinerized_rmst of zero pins");
+    let base = rmst(&unique);
+    if base.nodes().len() < 3 {
+        return base;
+    }
+
+    // Mutable adjacency representation.
+    let mut nodes: Vec<Point> = base.nodes().to_vec();
+    let num_pins = base.num_pins();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+    for &(a, b) in base.edges() {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+
+    // Greedy improvement: scan hub nodes, try the best median insertion
+    // among each pair of their neighbours; repeat until a full pass makes
+    // no progress (or a safety cap on Steiner points is hit).
+    let max_steiner = unique.len(); // an RSMT needs at most k-2 Steiner points
+    let mut inserted = 0usize;
+    loop {
+        let mut best: Option<(usize, usize, usize, Point, i64)> = None;
+        for hub in 0..nodes.len() {
+            let nbrs = adj[hub].clone();
+            for i in 0..nbrs.len() {
+                for j in i + 1..nbrs.len() {
+                    let (u, v) = (nbrs[i] as usize, nbrs[j] as usize);
+                    let s = median3(nodes[hub], nodes[u], nodes[v]);
+                    if s == nodes[hub] || s == nodes[u] || s == nodes[v] {
+                        continue;
+                    }
+                    let before = (nodes[hub].manhattan_distance(nodes[u])
+                        + nodes[hub].manhattan_distance(nodes[v]))
+                        as i64;
+                    let after = (s.manhattan_distance(nodes[hub])
+                        + s.manhattan_distance(nodes[u])
+                        + s.manhattan_distance(nodes[v])) as i64;
+                    let gain = before - after;
+                    if gain > 0 && best.is_none_or(|(.., g)| gain > g) {
+                        best = Some((hub, u, v, s, gain));
+                    }
+                }
+            }
+        }
+        let Some((hub, u, v, s, _)) = best else { break };
+        // Replace edges (hub,u) and (hub,v) with star via s.
+        let s_idx = nodes.len();
+        nodes.push(s);
+        adj.push(Vec::new());
+        adj[hub].retain(|&n| n as usize != u && n as usize != v);
+        adj[u].retain(|&n| n as usize != hub);
+        adj[v].retain(|&n| n as usize != hub);
+        for &(a, b) in &[(hub, s_idx), (u, s_idx), (v, s_idx)] {
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        inserted += 1;
+        if inserted >= max_steiner {
+            break;
+        }
+    }
+
+    let mut edges = Vec::with_capacity(nodes.len() - 1);
+    for (a, nbrs) in adj.iter().enumerate() {
+        for &b in nbrs {
+            if (a as u32) < b {
+                edges.push((a as u32, b));
+            }
+        }
+    }
+    RoutingTree::from_parts(nodes, num_pins, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::rmst_length;
+
+    #[test]
+    fn median3_basics() {
+        assert_eq!(
+            median3(Point::new(0, 0), Point::new(4, 0), Point::new(2, 2)),
+            Point::new(2, 0)
+        );
+        assert_eq!(
+            median3(Point::new(1, 1), Point::new(1, 1), Point::new(5, 5)),
+            Point::new(1, 1)
+        );
+    }
+
+    #[test]
+    fn never_longer_than_mst() {
+        let pins = [
+            Point::new(0, 0),
+            Point::new(10, 2),
+            Point::new(3, 9),
+            Point::new(7, 7),
+            Point::new(2, 4),
+            Point::new(9, 9),
+            Point::new(5, 1),
+            Point::new(1, 8),
+            Point::new(8, 4),
+            Point::new(4, 6),
+        ];
+        let t = steinerized_rmst(&pins);
+        t.validate().unwrap();
+        assert!(t.length() <= rmst_length(&pins));
+    }
+
+    #[test]
+    fn improves_the_t_shape() {
+        let pins = [Point::new(0, 0), Point::new(4, 0), Point::new(2, 2)];
+        let t = steinerized_rmst(&pins);
+        t.validate().unwrap();
+        assert_eq!(t.length(), 6);
+        assert_eq!(t.steiner_points().len(), 1);
+    }
+
+    #[test]
+    fn spans_every_pin() {
+        let pins: Vec<Point> = (0..12)
+            .map(|i| Point::new((i * 37) % 20, (i * 53) % 20))
+            .collect();
+        let t = steinerized_rmst(&pins);
+        t.validate().unwrap();
+        for p in &pins {
+            assert!(t.nodes().contains(p), "pin {p} missing from tree");
+        }
+    }
+
+    #[test]
+    fn bracketed_by_exact_and_mst() {
+        // The heuristic can never beat the optimum (DW) and never lose to
+        // the plain MST it starts from.
+        let pins = [
+            Point::new(0, 1),
+            Point::new(2, 0),
+            Point::new(2, 2),
+            Point::new(4, 1),
+        ];
+        let h = steinerized_rmst(&pins).length();
+        let e = crate::exact_steiner(&pins).length();
+        assert!(h >= e);
+        assert!(h <= rmst_length(&pins));
+    }
+}

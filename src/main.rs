@@ -1,0 +1,207 @@
+//! `dgr` — command-line front end for the differentiable global router.
+//!
+//! ```text
+//! dgr generate <case> [--out design.txt]        # emit a catalog design
+//! dgr route <design.txt> [--iterations N] [--seed S]
+//!          [--routes out.txt] [--guide out.guide]
+//! dgr compare <design.txt> [--iterations N]     # DGR vs all baselines
+//! ```
+
+use std::process::ExitCode;
+
+use dgr::baseline::{LagrangianRouter, SequentialRouter, SprouteRouter};
+use dgr::core::{DgrConfig, DgrRouter};
+use dgr::grid::Design;
+use dgr::post::{assign_layers, refine, AssignConfig, RefineConfig, RouteGuide};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("cases") => {
+            for name in dgr::io::catalog_names() {
+                let case = dgr::io::catalog_case(name).expect("listed case exists");
+                println!(
+                    "{name:<16} {:>6} nets  {:>4}x{:<4}  {} layers{}",
+                    case.config.num_nets,
+                    case.config.width,
+                    case.config.height,
+                    case.config.num_layers,
+                    if case.congested { "  (congested)" } else { "" }
+                );
+            }
+            Ok(())
+        }
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!("dgr — differentiable global router (DAC 2024 reproduction)");
+    println!();
+    println!("usage:");
+    println!("  dgr cases");
+    println!("      list the benchmark catalog");
+    println!("  dgr generate <case> [--out design.txt] [--fast]");
+    println!("      emit a named catalog design (e.g. ispd18_test1, ispd19_7m)");
+    println!("  dgr route <design.txt> [--iterations N] [--seed S]");
+    println!("            [--routes out.txt] [--guide out.guide]");
+    println!("      route a design and print metrics");
+    println!("  dgr compare <design.txt> [--iterations N]");
+    println!("      route with DGR and every baseline, print a comparison table");
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let case_name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("generate needs a case name")?;
+    let case = dgr::io::catalog_case(case_name)
+        .ok_or_else(|| format!("unknown catalog case `{case_name}`"))?;
+    let mut config = case.config.clone();
+    if args.iter().any(|a| a == "--fast") {
+        config.num_nets /= 4;
+        config.width = (config.width / 2).max(20);
+        config.height = (config.height / 2).max(20);
+        config.clusters = (config.clusters / 4).max(3);
+        config.cluster_spread /= 2.0;
+    }
+    let design = dgr::io::IspdLikeGenerator::new(config).generate()?;
+    let text = dgr::io::write_design(&design);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            println!(
+                "wrote {} ({} nets, {}x{} grid, {} layers)",
+                path,
+                design.num_nets(),
+                design.grid.width(),
+                design.grid.height(),
+                design.num_layers
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn load_design(args: &[String]) -> Result<Design, Box<dyn std::error::Error>> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing design file")?;
+    let text = std::fs::read_to_string(path)?;
+    Ok(dgr::io::parse_design(&text)?)
+}
+
+fn config_from(args: &[String]) -> Result<DgrConfig, Box<dyn std::error::Error>> {
+    let mut cfg = DgrConfig::default();
+    if let Some(v) = flag_value(args, "--iterations") {
+        cfg.iterations = v.parse()?;
+    }
+    if let Some(v) = flag_value(args, "--seed") {
+        cfg.seed = v.parse()?;
+    }
+    Ok(cfg)
+}
+
+fn cmd_route(args: &[String]) -> CliResult {
+    let design = load_design(args)?;
+    let cfg = config_from(args)?;
+    let t0 = std::time::Instant::now();
+    let mut solution = DgrRouter::new(cfg).route(&design)?;
+    let report = refine(&design, &mut solution, RefineConfig::default())?;
+    let elapsed = t0.elapsed();
+
+    let m = &solution.metrics;
+    println!("routed {} nets in {elapsed:.2?}", design.num_nets());
+    println!("  wirelength       : {}", m.total_wirelength);
+    println!("  turning points   : {}", m.total_turns);
+    println!("  overflowed edges : {}", m.overflow.overflowed_edges);
+    println!("  total overflow   : {:.2}", m.overflow.total_overflow);
+    println!(
+        "  refinement       : {} nets rerouted ({} → {} overflowed edges)",
+        report.nets_rerouted, report.overflowed_before, report.overflowed_after
+    );
+    if design.num_layers >= 2 {
+        let assigned = assign_layers(&design, &solution, AssignConfig::default())?;
+        println!("  vias (3D)        : {}", assigned.total_vias);
+        println!("  3D overflow      : {}", assigned.overflowed_edges3d);
+        if let Some(path) = flag_value(args, "--guide") {
+            let guide = RouteGuide::from_assignment(&design, &assigned);
+            std::fs::write(path, guide.to_text())?;
+            println!("  guide boxes      : {} → {}", guide.num_boxes(), path);
+        }
+    }
+    if let Some(path) = flag_value(args, "--routes") {
+        std::fs::write(path, solution.to_text())?;
+        println!("  routes checkpoint → {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> CliResult {
+    let design = load_design(args)?;
+    let cfg = config_from(args)?;
+    println!(
+        "{:<12} {:>10} {:>8} {:>10} {:>10} {:>8}",
+        "router", "wirelength", "turns", "ovf edges", "ovf total", "t(s)"
+    );
+    let run = |name: &str,
+                   solve: &mut dyn FnMut() -> Result<
+        dgr::core::RoutingSolution,
+        Box<dyn std::error::Error>,
+    >|
+     -> CliResult {
+        let t0 = std::time::Instant::now();
+        let mut sol = solve()?;
+        refine(&design, &mut sol, RefineConfig::default())?;
+        let t = t0.elapsed().as_secs_f64();
+        let m = &sol.metrics;
+        println!(
+            "{:<12} {:>10} {:>8} {:>10} {:>10.2} {:>8.2}",
+            name,
+            m.total_wirelength,
+            m.total_turns,
+            m.overflow.overflowed_edges,
+            m.overflow.total_overflow,
+            t
+        );
+        Ok(())
+    };
+    run("dgr", &mut || {
+        Ok(DgrRouter::new(cfg.clone()).route(&design)?)
+    })?;
+    run("sequential", &mut || {
+        Ok(SequentialRouter::default().route(&design)?)
+    })?;
+    run("sproute", &mut || {
+        Ok(SprouteRouter::default().route(&design)?)
+    })?;
+    run("lagrangian", &mut || {
+        Ok(LagrangianRouter::default().route(&design)?)
+    })?;
+    Ok(())
+}

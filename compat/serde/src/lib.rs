@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, and the
+//! workspace only ever *derives* `Serialize`/`Deserialize` — nothing in
+//! the tree drives an actual serializer (I/O goes through the hand-rolled
+//! text format in `dgr-io`). So this stub provides the trait names the
+//! `use serde::{Deserialize, Serialize}` imports resolve to, and the
+//! `derive` feature re-exports no-op derive macros of the same names.
+//! If real serialization is ever needed, swap this path dependency back
+//! to the registry crate — no call sites change.
+
+/// Marker standing in for `serde::Serialize`. Never implemented by the
+/// no-op derive; do not bound on it.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`. Never implemented by the
+/// no-op derive; do not bound on it.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

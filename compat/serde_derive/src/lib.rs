@@ -1,0 +1,22 @@
+//! No-op `serde_derive` stand-in for offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes through serde (there is no `serde_json` or similar in
+//! the tree — the on-disk design format is hand-written in `dgr-io`).
+//! These derives therefore only need to *parse*, not generate: each one
+//! accepts the item (including `#[serde(...)]` attributes) and expands to
+//! nothing, leaving the marker traits in the `serde` stub unimplemented.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

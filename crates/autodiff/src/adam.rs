@@ -2,6 +2,7 @@
 //! for its trainable logits.
 
 use crate::graph::{Graph, VarId};
+use crate::parallel::{self, SendPtr};
 
 /// Adam state over a graph's trainable parameters.
 ///
@@ -32,8 +33,12 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     t: u64,
-    m: Vec<Vec<f32>>,
-    v: Vec<Vec<f32>>,
+    /// First-moment arena; parameter `k` owns
+    /// `offsets[k]..offsets[k + 1]`.
+    m: Vec<f32>,
+    /// Second-moment arena, same layout as `m`.
+    v: Vec<f32>,
+    offsets: Vec<usize>,
     params: Vec<VarId>,
 }
 
@@ -43,16 +48,22 @@ impl Adam {
     /// parameters.
     pub fn new(graph: &Graph, lr: f32) -> Self {
         let params = graph.params().to_vec();
-        let m = params.iter().map(|&p| vec![0.0; graph.len_of(p)]).collect();
-        let v = params.iter().map(|&p| vec![0.0; graph.len_of(p)]).collect();
+        let mut offsets = Vec::with_capacity(params.len() + 1);
+        let mut total = 0;
+        for &p in &params {
+            offsets.push(total);
+            total += graph.len_of(p);
+        }
+        offsets.push(total);
         Adam {
             lr,
             beta1: 0.9,
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m,
-            v,
+            m: vec![0.0; total],
+            v: vec![0.0; total],
+            offsets,
             params,
         }
     }
@@ -87,19 +98,36 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
         for (k, &p) in self.params.iter().enumerate() {
-            let grad = graph.grad(p).to_vec();
-            let m = &mut self.m[k];
-            let v = &mut self.v[k];
-            let data = graph.data_mut(p);
-            for i in 0..data.len() {
-                let g = grad[i];
-                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
-                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
-                let mhat = m[i] / bc1;
-                let vhat = v[i] / bc2;
-                data[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
+            let r = self.offsets[k]..self.offsets[k + 1];
+            let m = &mut self.m[r.clone()];
+            let v = &mut self.v[r];
+            let (data, grad) = graph.val_grad_mut(p);
+            let n = data.len();
+            let (dp, mp, vp) = (
+                SendPtr(data.as_mut_ptr()),
+                SendPtr(m.as_mut_ptr()),
+                SendPtr(v.as_mut_ptr()),
+            );
+            // Elementwise and index-partitioned: bit-stable at any thread
+            // count.
+            parallel::par_blocks(n, n, move |block| {
+                for i in block {
+                    let g = grad[i];
+                    // SAFETY: blocks partition 0..n; each element is
+                    // touched by exactly one block.
+                    unsafe {
+                        let m = &mut *mp.get().add(i);
+                        let v = &mut *vp.get().add(i);
+                        *m = b1 * *m + (1.0 - b1) * g;
+                        *v = b2 * *v + (1.0 - b2) * g * g;
+                        let mhat = *m / bc1;
+                        let vhat = *v / bc2;
+                        *dp.get().add(i) -= lr * mhat / (vhat.sqrt() + eps);
+                    }
+                }
+            });
         }
     }
 }

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::activation::Activation;
 use crate::ops::Op;
+use crate::parallel::{self, par_axpy, par_map_mut, par_scatter_add, SendPtr};
 use crate::segments::Segments;
 use crate::AutodiffError;
 
@@ -28,6 +29,15 @@ impl VarId {
 /// updated in place via [`Graph::set_data`]), mirroring how DGR reuses its
 /// PyTorch graph across iterations.
 ///
+/// # Memory layout
+///
+/// All node values live in one contiguous `f32` arena, all gradients in a
+/// second one, with a shared offset table (node `i` owns
+/// `offsets[i]..offsets[i] + lens[i]` of both). The forward sweep walks
+/// the value arena strictly left-to-right and the backward sweep
+/// right-to-left, so consecutive ops touch adjacent cache lines instead
+/// of chasing per-node heap allocations.
+///
 /// # Examples
 ///
 /// ```
@@ -47,9 +57,27 @@ impl VarId {
 pub struct Graph {
     nodes: Vec<Op>,
     lens: Vec<usize>,
-    vals: Vec<Vec<f32>>,
-    grads: Vec<Vec<f32>>,
+    /// Start of node `i`'s buffer in both arenas.
+    offsets: Vec<usize>,
+    /// Value arena: all node values, concatenated in node order.
+    vals: Vec<f32>,
+    /// Gradient arena, same layout as `vals`.
+    grads: Vec<f32>,
     params: Vec<VarId>,
+    plan: Option<BackwardPlan>,
+}
+
+/// The cached loss-reachability analysis: which nodes can influence the
+/// loss (via differentiable edges), and the merged gradient-arena runs
+/// that must be zeroed before a backward sweep.
+#[derive(Debug)]
+struct BackwardPlan {
+    loss: VarId,
+    num_nodes: usize,
+    reachable: Vec<bool>,
+    /// Merged `(offset, len)` runs covering exactly the reachable
+    /// gradient buffers.
+    zero_runs: Vec<(usize, usize)>,
 }
 
 impl Graph {
@@ -60,28 +88,36 @@ impl Graph {
 
     fn push(&mut self, op: Op, len: usize) -> VarId {
         let id = VarId(self.nodes.len() as u32);
+        let offset = self.vals.len();
         self.nodes.push(op);
         self.lens.push(len);
-        self.vals.push(vec![0.0; len]);
-        self.grads.push(vec![0.0; len]);
+        self.offsets.push(offset);
+        self.vals.resize(offset + len, 0.0);
+        self.grads.resize(offset + len, 0.0);
+        self.plan = None; // the tape grew: any cached reachability is stale
         id
+    }
+
+    fn range_of(&self, v: VarId) -> std::ops::Range<usize> {
+        let i = v.index();
+        self.offsets[i]..self.offsets[i] + self.lens[i]
     }
 
     /// Adds a **trainable** leaf initialized with `data`. Trainable leaves
     /// are what [`crate::Adam`] updates.
     pub fn param(&mut self, data: Vec<f32>) -> VarId {
-        let len = data.len();
-        let id = self.push(Op::Leaf { trainable: true }, len);
-        self.vals[id.index()] = data;
+        let id = self.push(Op::Leaf { trainable: true }, data.len());
+        let r = self.range_of(id);
+        self.vals[r].copy_from_slice(&data);
         self.params.push(id);
         id
     }
 
     /// Adds a non-trainable leaf (noise buffers, the temperature scalar).
     pub fn input(&mut self, data: Vec<f32>) -> VarId {
-        let len = data.len();
-        let id = self.push(Op::Leaf { trainable: false }, len);
-        self.vals[id.index()] = data;
+        let id = self.push(Op::Leaf { trainable: false }, data.len());
+        let r = self.range_of(id);
+        self.vals[r].copy_from_slice(&data);
         id
     }
 
@@ -235,12 +271,13 @@ impl Graph {
 
     /// Current value buffer of `v` (valid after [`Graph::forward`]).
     pub fn value(&self, v: VarId) -> &[f32] {
-        &self.vals[v.index()]
+        &self.vals[self.range_of(v)]
     }
 
-    /// Current gradient buffer of `v` (valid after [`Graph::backward`]).
+    /// Current gradient buffer of `v` (valid after [`Graph::backward`];
+    /// buffers that cannot influence the most recent loss read as zero).
     pub fn grad(&self, v: VarId) -> &[f32] {
-        &self.grads[v.index()]
+        &self.grads[self.range_of(v)]
     }
 
     /// Mutable access to a **leaf** buffer (noise, temperature,
@@ -254,7 +291,15 @@ impl Graph {
             matches!(self.nodes[v.index()], Op::Leaf { .. }),
             "data_mut on non-leaf"
         );
-        &mut self.vals[v.index()]
+        let r = self.range_of(v);
+        &mut self.vals[r]
+    }
+
+    /// Simultaneous mutable value / shared gradient access for one
+    /// variable — the optimizer's update view (no gradient clone).
+    pub(crate) fn val_grad_mut(&mut self, v: VarId) -> (&mut [f32], &[f32]) {
+        let r = self.range_of(v);
+        (&mut self.vals[r.clone()], &self.grads[r])
     }
 
     /// Replaces a leaf's contents.
@@ -300,75 +345,260 @@ impl Graph {
             if matches!(self.nodes[i], Op::Leaf { .. }) {
                 continue;
             }
-            let (head, tail) = self.vals.split_at_mut(i);
-            let out = &mut tail[0];
-            let op = &self.nodes[i];
-            let get = |v: VarId| -> &[f32] { &head[v.index()] };
-            op.forward(&get, out);
+            // Inputs strictly precede node i, so splitting the value arena
+            // at the node's offset makes every input readable while the
+            // node's own buffer is written.
+            let (head, tail) = self.vals.split_at_mut(self.offsets[i]);
+            let out = &mut tail[..self.lens[i]];
+            let (offsets, lens) = (&self.offsets, &self.lens);
+            let get = |v: VarId| -> &[f32] {
+                let j = v.index();
+                &head[offsets[j]..offsets[j] + lens[j]]
+            };
+            self.nodes[i].forward(&get, out);
         }
     }
 
+    /// Computes (and caches) the loss-reachability plan: the set of nodes
+    /// with a differentiable path to `loss`, plus the merged gradient
+    /// ranges a backward sweep must zero. Called automatically by
+    /// [`Graph::backward`]; model builders call it eagerly so the
+    /// analysis cost sits at build time, not in the first iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar.
+    pub fn prepare_backward(&mut self, loss: VarId) {
+        assert_eq!(self.lens[loss.index()], 1, "loss must be scalar");
+        if let Some(p) = &self.plan {
+            if p.loss == loss && p.num_nodes == self.nodes.len() {
+                return;
+            }
+        }
+        // The plan changed (new loss or new nodes): clear the whole arena
+        // once so gradients accumulated under a previous plan cannot leak
+        // through buffers the new plan never touches.
+        self.grads.fill(0.0);
+        let n = self.nodes.len();
+        let mut reachable = vec![false; n];
+        reachable[loss.index()] = true;
+        // Reverse sweep: nodes after the loss cannot influence it (the
+        // tape is topologically ordered), so start at the loss itself.
+        for i in (0..=loss.index()).rev() {
+            if reachable[i] {
+                self.nodes[i].for_each_grad_input(|v| reachable[v.index()] = true);
+            }
+        }
+        let mut zero_runs: Vec<(usize, usize)> = Vec::new();
+        for (i, &live) in reachable.iter().enumerate() {
+            if !live || self.lens[i] == 0 {
+                continue;
+            }
+            let (off, len) = (self.offsets[i], self.lens[i]);
+            match zero_runs.last_mut() {
+                Some((ro, rl)) if *ro + *rl == off => *rl += len,
+                _ => zero_runs.push((off, len)),
+            }
+        }
+        self.plan = Some(BackwardPlan {
+            loss,
+            num_nodes: n,
+            reachable,
+            zero_runs,
+        });
+    }
+
     /// Accumulates `∂loss/∂v` into every gradient buffer.
+    ///
+    /// Only nodes on a differentiable path to `loss` (per the cached
+    /// [`Graph::prepare_backward`] plan) are visited or re-zeroed; all
+    /// other gradient buffers stay zero. Elementwise accumulations above
+    /// [`crate::parallel::PAR_THRESHOLD`] run on the worker pool.
     ///
     /// # Panics
     ///
     /// Panics if `loss` is not a scalar.
     pub fn backward(&mut self, loss: VarId) {
-        assert_eq!(self.lens[loss.index()], 1, "loss must be scalar");
-        for g in &mut self.grads {
-            g.fill(0.0);
+        if parallel::exec_mode() == parallel::ExecMode::Spawn {
+            // Benchmark baseline: reproduce the pre-pool executor exactly
+            // (see backward_spawn_baseline).
+            return self.backward_spawn_baseline(loss);
         }
-        self.grads[loss.index()][0] = 1.0;
-        for i in (0..self.nodes.len()).rev() {
-            // Split so that input gradients (indices < i) are mutable while
-            // the output gradient (index i) is readable.
-            let (gin, gtail) = self.grads.split_at_mut(i);
-            let gout: &[f32] = &gtail[0];
+        self.prepare_backward(loss);
+        let plan = self.plan.take().expect("plan just prepared");
+        for &(off, len) in &plan.zero_runs {
+            self.grads[off..off + len].fill(0.0);
+        }
+        self.grads[self.offsets[loss.index()]] = 1.0;
+        for i in (0..=loss.index()).rev() {
+            if !plan.reachable[i] {
+                continue;
+            }
+            // Split so that input gradients (offsets < offsets[i]) are
+            // mutable while the output gradient is readable.
+            let (gin, gtail) = self.grads.split_at_mut(self.offsets[i]);
+            let gout: &[f32] = &gtail[..self.lens[i]];
+            // Statically reachable but numerically dead (e.g. an overflow
+            // activation that never saturated): every kernel accumulates
+            // `+= gout·…`, so an all-zero output gradient contributes
+            // nothing. The scan short-circuits on the first live element,
+            // so live nodes pay one read.
             if gout.iter().all(|&g| g == 0.0) {
                 continue;
             }
+            let (offsets, lens) = (&self.offsets, &self.lens);
             let vals = &self.vals;
+            let val = |v: VarId| -> &[f32] {
+                let j = v.index();
+                &vals[offsets[j]..offsets[j] + lens[j]]
+            };
             match &self.nodes[i] {
                 Op::Leaf { .. } => {}
                 Op::Add { a, b } => {
-                    axpy(&mut gin[a.index()], gout, 1.0);
-                    axpy(&mut gin[b.index()], gout, 1.0);
+                    par_axpy(slice_mut(gin, offsets, lens, *a), gout, 1.0);
+                    par_axpy(slice_mut(gin, offsets, lens, *b), gout, 1.0);
                 }
                 Op::Mul { a, b } => {
-                    let (xa, xb) = (&vals[a.index()], &vals[b.index()]);
+                    let (xa, xb) = (val(*a), val(*b));
                     if a == b {
-                        let ga = &mut gin[a.index()];
+                        let ga = slice_mut(gin, offsets, lens, *a);
+                        par_map_mut(ga, |i, g| *g += 2.0 * gout[i] * xa[i]);
+                    } else {
+                        let ga = slice_mut(gin, offsets, lens, *a);
+                        par_map_mut(ga, |i, g| *g += gout[i] * xb[i]);
+                        let gb = slice_mut(gin, offsets, lens, *b);
+                        par_map_mut(gb, |i, g| *g += gout[i] * xa[i]);
+                    }
+                }
+                Op::Scale { x, k } => par_axpy(slice_mut(gin, offsets, lens, *x), gout, *k),
+                Op::AddConst { x, .. } => par_axpy(slice_mut(gin, offsets, lens, *x), gout, 1.0),
+                Op::MulConst { x, c } => {
+                    let gx = slice_mut(gin, offsets, lens, *x);
+                    let c = &**c;
+                    par_map_mut(gx, |i, g| *g += gout[i] * c[i]);
+                }
+                Op::DivByScalarVar { x, s } => {
+                    let inv = 1.0 / val(*s)[0];
+                    par_axpy(slice_mut(gin, offsets, lens, *x), gout, inv);
+                }
+                Op::SegSoftmax { x, seg } => {
+                    // p is this node's own (already computed) output.
+                    let p = &vals[self.offsets[i]..self.offsets[i] + self.lens[i]];
+                    let gx = slice_mut(gin, offsets, lens, *x);
+                    let gxp = SendPtr(gx.as_mut_ptr());
+                    let seg = &**seg;
+                    // Segments are disjoint: parallelizing over them is
+                    // bit-stable across any thread count.
+                    parallel::par_blocks(seg.num_segments(), seg.len(), move |block| {
+                        for s in block {
+                            let r = seg.segment(s);
+                            let dot: f32 = gout[r.clone()]
+                                .iter()
+                                .zip(&p[r.clone()])
+                                .map(|(g, p)| g * p)
+                                .sum();
+                            for j in r {
+                                // SAFETY: segment ranges partition gx.
+                                unsafe { *gxp.get().add(j) += p[j] * (gout[j] - dot) };
+                            }
+                        }
+                    });
+                }
+                Op::Gather { x, idx } => {
+                    par_scatter_add(slice_mut(gin, offsets, lens, *x), idx, gout);
+                }
+                Op::ScatterAdd { x, idx, .. } => {
+                    let gx = slice_mut(gin, offsets, lens, *x);
+                    let idx = &**idx;
+                    par_map_mut(gx, |j, g| *g += gout[idx[j] as usize]);
+                }
+                Op::Activate { x, kind } => {
+                    let xv = val(*x);
+                    let kind = *kind;
+                    let gx = slice_mut(gin, offsets, lens, *x);
+                    par_map_mut(gx, |i, g| *g += gout[i] * kind.grad(xv[i]));
+                }
+                Op::SumAll { x } => {
+                    let g = gout[0];
+                    par_map_mut(slice_mut(gin, offsets, lens, *x), |_, v| *v += g);
+                }
+                Op::DotConst { x, w } => {
+                    let g = gout[0];
+                    let w = &**w;
+                    par_map_mut(slice_mut(gin, offsets, lens, *x), |i, v| *v += g * w[i]);
+                }
+                Op::Combine { terms } => {
+                    let g = gout[0];
+                    for (v, k) in terms {
+                        gin[offsets[v.index()]] += g * k;
+                    }
+                }
+            }
+        }
+        self.plan = Some(plan);
+    }
+
+    /// The pre-pool backward pass, kept (modulo the arena layout) as the
+    /// [`parallel::ExecMode::Spawn`] benchmark baseline: a full gradient
+    /// zero-fill every iteration, an O(len) all-zero scan per node in
+    /// place of the reachability plan, and sequential kernels — the only
+    /// parallel backward kernel the old executor had was the gather
+    /// scatter-add, which [`par_scatter_add`] reproduces in Spawn mode.
+    fn backward_spawn_baseline(&mut self, loss: VarId) {
+        assert_eq!(self.lens[loss.index()], 1, "loss must be scalar");
+        self.grads.fill(0.0);
+        self.grads[self.offsets[loss.index()]] = 1.0;
+        for i in (0..=loss.index()).rev() {
+            let (gin, gtail) = self.grads.split_at_mut(self.offsets[i]);
+            let gout: &[f32] = &gtail[..self.lens[i]];
+            if gout.iter().all(|&g| g == 0.0) {
+                continue;
+            }
+            let (offsets, lens) = (&self.offsets, &self.lens);
+            let vals = &self.vals;
+            let val = |v: VarId| -> &[f32] {
+                let j = v.index();
+                &vals[offsets[j]..offsets[j] + lens[j]]
+            };
+            match &self.nodes[i] {
+                Op::Leaf { .. } => {}
+                Op::Add { a, b } => {
+                    seq_axpy(slice_mut(gin, offsets, lens, *a), gout, 1.0);
+                    seq_axpy(slice_mut(gin, offsets, lens, *b), gout, 1.0);
+                }
+                Op::Mul { a, b } => {
+                    let (xa, xb) = (val(*a), val(*b));
+                    if a == b {
+                        let ga = slice_mut(gin, offsets, lens, *a);
                         for i in 0..ga.len() {
                             ga[i] += 2.0 * gout[i] * xa[i];
                         }
                     } else {
-                        {
-                            let ga = &mut gin[a.index()];
-                            for i in 0..ga.len() {
-                                ga[i] += gout[i] * xb[i];
-                            }
+                        let ga = slice_mut(gin, offsets, lens, *a);
+                        for i in 0..ga.len() {
+                            ga[i] += gout[i] * xb[i];
                         }
-                        let gb = &mut gin[b.index()];
+                        let gb = slice_mut(gin, offsets, lens, *b);
                         for i in 0..gb.len() {
                             gb[i] += gout[i] * xa[i];
                         }
                     }
                 }
-                Op::Scale { x, k } => axpy(&mut gin[x.index()], gout, *k),
-                Op::AddConst { x, .. } => axpy(&mut gin[x.index()], gout, 1.0),
+                Op::Scale { x, k } => seq_axpy(slice_mut(gin, offsets, lens, *x), gout, *k),
+                Op::AddConst { x, .. } => seq_axpy(slice_mut(gin, offsets, lens, *x), gout, 1.0),
                 Op::MulConst { x, c } => {
-                    let gx = &mut gin[x.index()];
+                    let gx = slice_mut(gin, offsets, lens, *x);
                     for i in 0..gx.len() {
                         gx[i] += gout[i] * c[i];
                     }
                 }
                 Op::DivByScalarVar { x, s } => {
-                    let inv = 1.0 / vals[s.index()][0];
-                    axpy(&mut gin[x.index()], gout, inv);
+                    let inv = 1.0 / val(*s)[0];
+                    seq_axpy(slice_mut(gin, offsets, lens, *x), gout, inv);
                 }
                 Op::SegSoftmax { x, seg } => {
-                    let p = &self.vals[i];
-                    let gx = &mut gin[x.index()];
+                    let p = &vals[self.offsets[i]..self.offsets[i] + self.lens[i]];
+                    let gx = slice_mut(gin, offsets, lens, *x);
                     for s in 0..seg.num_segments() {
                         let r = seg.segment(s);
                         let dot: f32 = gout[r.clone()]
@@ -382,38 +612,39 @@ impl Graph {
                     }
                 }
                 Op::Gather { x, idx } => {
-                    crate::parallel::par_scatter_add(&mut gin[x.index()], idx, gout);
+                    par_scatter_add(slice_mut(gin, offsets, lens, *x), idx, gout);
                 }
                 Op::ScatterAdd { x, idx, .. } => {
-                    let gx = &mut gin[x.index()];
+                    let gx = slice_mut(gin, offsets, lens, *x);
                     for j in 0..gx.len() {
                         gx[j] += gout[idx[j] as usize];
                     }
                 }
                 Op::Activate { x, kind } => {
-                    let xv = &vals[x.index()];
-                    let gx = &mut gin[x.index()];
+                    let xv = val(*x);
+                    let kind = *kind;
+                    let gx = slice_mut(gin, offsets, lens, *x);
                     for i in 0..gx.len() {
                         gx[i] += gout[i] * kind.grad(xv[i]);
                     }
                 }
                 Op::SumAll { x } => {
                     let g = gout[0];
-                    for v in gin[x.index()].iter_mut() {
+                    for v in slice_mut(gin, offsets, lens, *x) {
                         *v += g;
                     }
                 }
                 Op::DotConst { x, w } => {
                     let g = gout[0];
-                    let gx = &mut gin[x.index()];
-                    for i in 0..gx.len() {
-                        gx[i] += g * w[i];
+                    let gx = slice_mut(gin, offsets, lens, *x);
+                    for (v, wi) in gx.iter_mut().zip(w.iter()) {
+                        *v += g * wi;
                     }
                 }
                 Op::Combine { terms } => {
                     let g = gout[0];
                     for (v, k) in terms {
-                        gin[v.index()][0] += g * k;
+                        gin[offsets[v.index()]] += g * k;
                     }
                 }
             }
@@ -421,10 +652,17 @@ impl Graph {
     }
 }
 
-fn axpy(dst: &mut [f32], src: &[f32], k: f32) {
+/// Sequential `dst += k·src` — the legacy baseline's axpy.
+fn seq_axpy(dst: &mut [f32], src: &[f32], k: f32) {
     for (d, s) in dst.iter_mut().zip(src) {
         *d += k * s;
     }
+}
+
+/// Mutable view of `v`'s gradient inside the lower half of a split arena.
+fn slice_mut<'a>(gin: &'a mut [f32], offsets: &[usize], lens: &[usize], v: VarId) -> &'a mut [f32] {
+    let j = v.index();
+    &mut gin[offsets[j]..offsets[j] + lens[j]]
 }
 
 /// Validates index tables against a target length — the fallible precursor
@@ -645,5 +883,68 @@ mod tests {
         let a = g.param(vec![0.0; 100]);
         let _ = g.scale(a, 1.0);
         assert_eq!(g.bytes(), 200 * 8);
+    }
+
+    #[test]
+    fn dead_branches_are_skipped_but_stay_zero() {
+        let mut g = Graph::new();
+        let w = g.param(vec![1.0, 2.0]);
+        let dead_in = g.param(vec![3.0, 5.0]);
+        let dead = g.mul(dead_in, dead_in); // never feeds the loss
+        let y = g.mul(w, w);
+        let loss = g.sum_all(y);
+        g.forward();
+        g.backward(loss);
+        assert_eq!(g.grad(w), &[2.0, 4.0]);
+        assert_eq!(g.grad(dead), &[0.0, 0.0]);
+        assert_eq!(g.grad(dead_in), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn switching_losses_rebuilds_the_plan_and_clears_stale_grads() {
+        let mut g = Graph::new();
+        let a = g.param(vec![1.0]);
+        let b = g.param(vec![2.0]);
+        let la = g.sum_all(a);
+        let lb = g.sum_all(b);
+        g.forward();
+        g.backward(la);
+        assert_eq!(g.grad(a), &[1.0]);
+        assert_eq!(g.grad(b), &[0.0]);
+        g.backward(lb);
+        // a is unreachable from lb: its old gradient must not linger
+        assert_eq!(g.grad(a), &[0.0]);
+        assert_eq!(g.grad(b), &[1.0]);
+    }
+
+    #[test]
+    fn temperature_scalar_does_not_keep_its_producers_alive() {
+        // reachability must not cross the non-differentiable temperature
+        // edge of DivByScalarVar
+        let mut g = Graph::new();
+        let w = g.param(vec![1.0, 2.0]);
+        let t_src = g.param(vec![3.0]);
+        let t = g.scale(t_src, 1.0);
+        let y = g.div_by_scalar(w, t);
+        let loss = g.sum_all(y);
+        g.forward();
+        g.backward(loss);
+        assert_eq!(g.grad(t_src), &[0.0]);
+        assert_eq!(g.grad(t), &[0.0]);
+        assert!((g.grad(w)[0] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_is_repeatable_on_the_arena() {
+        // gradients must not accumulate across backward() calls
+        let mut g = Graph::new();
+        let w = g.param(vec![1.0, -1.0]);
+        let sq = g.mul(w, w);
+        let loss = g.sum_all(sq);
+        g.forward();
+        g.backward(loss);
+        let first = g.grad(w).to_vec();
+        g.backward(loss);
+        assert_eq!(g.grad(w), &first[..]);
     }
 }

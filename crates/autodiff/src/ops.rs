@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use crate::activation::Activation;
 use crate::graph::VarId;
-use crate::parallel::{par_map_mut, par_scatter_add};
+use crate::parallel::{self, par_dot, par_map_mut, par_scatter_add, par_sum, SendPtr};
 use crate::segments::Segments;
 
 /// A node in the tape. Inputs always precede the node itself, so a single
@@ -82,10 +82,20 @@ impl Op {
             }
             Op::SegSoftmax { x, seg } => {
                 let x = get(*x);
-                for s in 0..seg.num_segments() {
-                    let r = seg.segment(s);
-                    softmax_into(&x[r.clone()], &mut out[r]);
-                }
+                let outp = SendPtr(out.as_mut_ptr());
+                let seg = &**seg;
+                // Segments partition the output, so each block of segments
+                // owns a disjoint window — safe and bit-stable to shard.
+                parallel::par_blocks(seg.num_segments(), seg.len(), move |block| {
+                    for s in block {
+                        let r = seg.segment(s);
+                        // SAFETY: segment ranges are disjoint per block.
+                        let o = unsafe {
+                            std::slice::from_raw_parts_mut(outp.get().add(r.start), r.len())
+                        };
+                        softmax_into(&x[r], o);
+                    }
+                });
             }
             Op::Gather { x, idx } => {
                 let x = get(*x);
@@ -102,13 +112,42 @@ impl Op {
                 par_map_mut(out, |i, v| *v = kind.eval(x[i]));
             }
             Op::SumAll { x } => {
-                out[0] = get(*x).iter().sum();
+                out[0] = par_sum(get(*x));
             }
             Op::DotConst { x, w } => {
-                out[0] = get(*x).iter().zip(w.iter()).map(|(a, b)| a * b).sum();
+                out[0] = par_dot(get(*x), w);
             }
             Op::Combine { terms } => {
                 out[0] = terms.iter().map(|(v, k)| k * get(*v)[0]).sum();
+            }
+        }
+    }
+
+    /// Visits every input that receives gradient from this op — the edge
+    /// set the loss-reachability analysis walks. Note this is *not* the
+    /// full input set: `DivByScalarVar` reads its scalar but propagates no
+    /// gradient into it.
+    pub(crate) fn for_each_grad_input(&self, mut f: impl FnMut(VarId)) {
+        match self {
+            Op::Leaf { .. } => {}
+            Op::Add { a, b } | Op::Mul { a, b } => {
+                f(*a);
+                f(*b);
+            }
+            Op::Scale { x, .. }
+            | Op::AddConst { x, .. }
+            | Op::MulConst { x, .. }
+            | Op::DivByScalarVar { x, .. }
+            | Op::SegSoftmax { x, .. }
+            | Op::Gather { x, .. }
+            | Op::ScatterAdd { x, .. }
+            | Op::Activate { x, .. }
+            | Op::SumAll { x }
+            | Op::DotConst { x, .. } => f(*x),
+            Op::Combine { terms } => {
+                for (v, _) in terms {
+                    f(*v);
+                }
             }
         }
     }

@@ -1,35 +1,71 @@
 //! Multi-threaded CPU kernels — the GPU-substitution layer.
 //!
-//! The paper runs its tensor ops as CUDA kernels. Here, each dense op
-//! shards its output across scoped worker threads (crossbeam). Reductions
-//! into shared targets (scatter-add) use per-thread partial buffers merged
-//! in thread order, so results are **bit-reproducible for a fixed thread
-//! count** — no atomics, no scheduling-dependent float ordering (CUDA
-//! atomics give neither). Across *different* thread counts the summation
-//! order changes, so results agree only up to float associativity.
+//! The paper runs its tensor ops as CUDA kernels. Here, dense ops are
+//! sharded across a **persistent worker pool**: threads are spawned once
+//! (on first parallel dispatch), then park on a condvar between jobs. A
+//! job is an index range of chunks; workers race to claim chunk indices,
+//! so a dispatch costs two mutex/condvar handshakes instead of a round of
+//! `thread::spawn`/`join` per op per iteration.
 //!
-//! Below [`PAR_THRESHOLD`] elements the sequential path is used; thread
-//! spawn overhead dominates for small tensors.
+//! # Determinism contract
+//!
+//! Work is partitioned into [`num_threads`] chunks **by index**, not by
+//! worker: which OS thread executes a chunk never affects where its
+//! results land. Pure elementwise maps are therefore bit-reproducible
+//! across *any* thread count. Reductions (scatter-add, sums, dots) use
+//! per-chunk partial buffers merged in chunk order, so they are
+//! **bit-reproducible for a fixed thread count** — no atomics, no
+//! scheduling-dependent float ordering (CUDA atomics give neither).
+//! Across *different* thread counts the summation order changes, so
+//! reductions agree only up to float associativity.
+//!
+//! Below [`PAR_THRESHOLD`] elements the sequential path is used; dispatch
+//! overhead dominates for small tensors.
+//!
+//! [`ExecMode::Spawn`] preserves the previous executor (a scoped
+//! spawn-per-op forward with sequential reductions elsewhere) purely so
+//! the benchmark suite can measure the pool against it; production code
+//! always runs [`ExecMode::Pool`].
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Minimum number of elements before an op fans out to worker threads.
 pub const PAR_THRESHOLD: usize = 1 << 15;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-/// Number of worker threads dense kernels will use.
+/// The machine's parallelism, probed once. `available_parallelism()` is a
+/// syscall (`sched_getaffinity`) costing microseconds on some kernels —
+/// uncached it dominated small sequential-fallback kernels, which call
+/// [`num_threads`] on every dispatch.
+fn host_parallelism() -> usize {
+    static HOST: AtomicUsize = AtomicUsize::new(0);
+    match HOST.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            HOST.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Number of chunks dense kernels partition their work into.
 ///
 /// Defaults to the machine's available parallelism; override (e.g. in
-/// determinism tests) with [`set_num_threads`].
+/// determinism tests) with [`set_num_threads`]. The override controls the
+/// *partitioning* — and hence the bit-exact result of reductions — even
+/// when fewer physical workers execute the chunks.
 pub fn num_threads() -> usize {
     let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if o != 0 {
         return o;
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    host_parallelism()
 }
 
 /// Overrides the worker-thread count (0 restores the default).
@@ -37,10 +73,238 @@ pub fn set_num_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
+/// Which executor dense kernels dispatch through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// The persistent worker pool (default).
+    Pool,
+    /// The pre-pool executor: scoped spawn-per-op for the forward map /
+    /// scatter kernels, sequential everywhere else. Kept only as the
+    /// benchmark baseline.
+    Spawn,
+}
+
+static EXEC_MODE: AtomicUsize = AtomicUsize::new(0);
+
+/// Selects the executor ([`ExecMode::Pool`] by default). Benchmarks use
+/// this to measure the pool against the legacy spawn-per-op executor.
+pub fn set_exec_mode(mode: ExecMode) {
+    EXEC_MODE.store(mode as usize, Ordering::Relaxed);
+}
+
+/// The currently selected executor.
+pub fn exec_mode() -> ExecMode {
+    if EXEC_MODE.load(Ordering::Relaxed) == ExecMode::Spawn as usize {
+        ExecMode::Spawn
+    } else {
+        ExecMode::Pool
+    }
+}
+
+// --- the persistent pool ---------------------------------------------------
+
+/// Lifetime-erased handle to the in-flight job closure. The `'static` is
+/// a fiction established by `transmute` in [`run_chunks`]; it is sound
+/// because the dispatcher keeps the closure alive until every chunk has
+/// completed, so workers never dereference a dangling job.
+#[derive(Clone, Copy)]
+struct JobPtr(&'static (dyn Fn(usize) + Sync));
+
+struct PoolState {
+    job: Option<JobPtr>,
+    epoch: u64,
+    next_chunk: usize,
+    total_chunks: usize,
+    completed: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Wakes workers when a new job (epoch) is published.
+    work_cv: Condvar,
+    /// Wakes the dispatcher when the last chunk of the job completes.
+    done_cv: Condvar,
+    /// Serializes dispatches (ops are issued one at a time, but tests may
+    /// drive several graphs from different threads).
+    dispatch_lock: Mutex<()>,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            job: None,
+            epoch: 0,
+            next_chunk: 0,
+            total_chunks: 0,
+            completed: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        dispatch_lock: Mutex::new(()),
+    })
+}
+
+/// Lazily spawns the parked worker threads (once per process). The
+/// dispatcher itself also executes chunks, so `available_parallelism - 1`
+/// workers saturate the machine.
+fn ensure_workers() {
+    static STARTED: OnceLock<()> = OnceLock::new();
+    STARTED.get_or_init(|| {
+        let workers = host_parallelism().saturating_sub(1).min(63);
+        for w in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("dgr-pool-{w}"))
+                .spawn(|| worker_loop(pool()))
+                .expect("spawn pool worker");
+        }
+    });
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut seen_epoch = 0u64;
+    loop {
+        // Park until a job with an unseen epoch is published.
+        let (job, epoch) = {
+            let mut st = pool.state.lock().expect("pool poisoned");
+            loop {
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        break (job, st.epoch);
+                    }
+                }
+                st = pool.work_cv.wait(st).expect("pool poisoned");
+            }
+        };
+        seen_epoch = epoch;
+        run_job_chunks(pool, job, epoch);
+    }
+}
+
+/// Claims and executes chunks of the job published at `epoch` until none
+/// remain (or a newer epoch supersedes it).
+fn run_job_chunks(pool: &Pool, job: JobPtr, epoch: u64) {
+    loop {
+        let chunk = {
+            let mut st = pool.state.lock().expect("pool poisoned");
+            if st.epoch != epoch || st.next_chunk >= st.total_chunks {
+                return;
+            }
+            let c = st.next_chunk;
+            st.next_chunk += 1;
+            c
+        };
+        // The dispatcher keeps the closure alive until every claimed
+        // chunk reports completion (`completed == total_chunks`).
+        (job.0)(chunk);
+        let mut st = pool.state.lock().expect("pool poisoned");
+        st.completed += 1;
+        if st.completed == st.total_chunks {
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+/// Executes `job(chunk)` for every chunk in `0..chunks` on the pool,
+/// participating from the calling thread. Returns after all chunks
+/// complete. Chunk assignment is work-stealing; result placement must
+/// depend only on the chunk index (see the module docs).
+pub(crate) fn run_chunks(chunks: usize, job: &(dyn Fn(usize) + Sync)) {
+    if chunks == 0 {
+        return;
+    }
+    if chunks == 1 {
+        job(0);
+        return;
+    }
+    ensure_workers();
+    let pool = pool();
+    let _guard = pool.dispatch_lock.lock().expect("pool poisoned");
+    // SAFETY: erases the job's lifetime. Sound because this function does
+    // not return until `completed == total_chunks` and then clears
+    // `st.job`, so no worker touches the closure after it dies.
+    let job_ptr = JobPtr(unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(job)
+    });
+    let epoch = {
+        let mut st = pool.state.lock().expect("pool poisoned");
+        st.epoch = st.epoch.wrapping_add(1);
+        st.job = Some(job_ptr);
+        st.next_chunk = 0;
+        st.total_chunks = chunks;
+        st.completed = 0;
+        pool.work_cv.notify_all();
+        st.epoch
+    };
+    run_job_chunks(pool, job_ptr, epoch);
+    let mut st = pool.state.lock().expect("pool poisoned");
+    while st.completed < st.total_chunks {
+        st = pool.done_cv.wait(st).expect("pool poisoned");
+    }
+    st.job = None;
+}
+
+/// A raw pointer that may cross thread boundaries. Used to hand each
+/// chunk a disjoint mutable window of a shared buffer.
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+
+// Manual impls: the derive would require `T: Copy`, but copying the
+// *pointer* never copies the pointee.
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+// SAFETY: every use partitions the pointee into per-chunk disjoint ranges.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Kernels must go through this method rather
+    /// than the field: edition-2021 closures capture used fields
+    /// individually, and a captured bare `*mut T` strips the wrapper's
+    /// `Send`/`Sync`.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Splits `0..num_items` into [`num_threads`] contiguous chunks and runs
+/// `f(range)` for each on the pool. Falls back to one sequential
+/// `f(0..num_items)` call when `total_elems` is below [`PAR_THRESHOLD`],
+/// a single thread is configured, or the legacy spawn executor is
+/// selected (whose backward pass was sequential).
+///
+/// `f` must write only to locations owned by its item range, so results
+/// are independent of which worker runs which chunk.
+pub(crate) fn par_blocks<F>(num_items: usize, total_elems: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let threads = num_threads();
+    if num_items == 0 {
+        return;
+    }
+    if total_elems < PAR_THRESHOLD || threads <= 1 || exec_mode() == ExecMode::Spawn {
+        f(0..num_items);
+        return;
+    }
+    let chunk = num_items.div_ceil(threads);
+    let chunks = num_items.div_ceil(chunk);
+    run_chunks(chunks, &|c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(num_items);
+        f(lo..hi);
+    });
+}
+
 /// Applies `f(global_index, &mut out[i])` over `out` in parallel chunks.
 ///
 /// `f` must be pure per element — the index-to-value mapping cannot depend
-/// on other output elements.
+/// on other output elements. Bit-reproducible across all thread counts
+/// (no reduction is involved).
 pub fn par_map_mut<F>(out: &mut [f32], f: F)
 where
     F: Fn(usize, &mut f32) + Sync,
@@ -52,27 +316,79 @@ where
         }
         return;
     }
+    if exec_mode() == ExecMode::Spawn {
+        return spawn_map_mut(out, &f, threads);
+    }
+    let len = out.len();
+    let chunk = len.div_ceil(threads);
+    let chunks = len.div_ceil(chunk);
+    let base = SendPtr(out.as_mut_ptr());
+    run_chunks(chunks, &move |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(len);
+        // SAFETY: chunks index disjoint ranges of `out`, which outlives
+        // the dispatch.
+        let slice = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+        for (i, v) in slice.iter_mut().enumerate() {
+            f(lo + i, v);
+        }
+    });
+}
+
+/// The pre-pool executor: a scoped spawn per chunk, per op. Benchmark
+/// baseline only.
+fn spawn_map_mut<F>(out: &mut [f32], f: &F, threads: usize)
+where
+    F: Fn(usize, &mut f32) + Sync,
+{
     let chunk = out.len().div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (c, slice) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = c * chunk;
                 for (i, v) in slice.iter_mut().enumerate() {
                     f(base + i, v);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
+}
+
+/// Reusable per-chunk partial buffers for scatter-add reductions, kept
+/// across dispatches so the hot training loop stops allocating
+/// `threads × out.len()` floats every iteration.
+static PARTIALS_CACHE: Mutex<Vec<Vec<f32>>> = Mutex::new(Vec::new());
+
+fn take_partials(chunks: usize, len: usize) -> Vec<Vec<f32>> {
+    let mut cache = PARTIALS_CACHE.lock().expect("scratch poisoned");
+    let mut bufs: Vec<Vec<f32>> = Vec::with_capacity(chunks);
+    while bufs.len() < chunks {
+        bufs.push(cache.pop().unwrap_or_default());
+    }
+    drop(cache);
+    for b in &mut bufs {
+        b.clear();
+        b.resize(len, 0.0);
+    }
+    bufs
+}
+
+fn return_partials(bufs: Vec<Vec<f32>>) {
+    const LIMIT: usize = 256;
+    let mut cache = PARTIALS_CACHE.lock().expect("scratch poisoned");
+    for b in bufs {
+        if cache.len() < LIMIT {
+            cache.push(b);
+        }
+    }
 }
 
 /// Parallel scatter-add: `out[idx[i]] += vals[i]` for all `i`.
 ///
-/// Parallelized with per-thread partial output buffers merged in thread
-/// order, so the result is deterministic. Falls back to the sequential
-/// loop for small inputs (or when partial buffers would cost more than
-/// they save).
+/// Parallelized with per-chunk partial output buffers merged in chunk
+/// order, so the result is bit-reproducible for a fixed thread count.
+/// Falls back to the sequential loop for small inputs (or when partial
+/// buffers would cost more than they save).
 ///
 /// # Panics
 ///
@@ -89,9 +405,36 @@ pub fn par_scatter_add(out: &mut [f32], idx: &[u32], vals: &[f32]) {
         }
         return;
     }
+    if exec_mode() == ExecMode::Spawn {
+        return spawn_scatter_add(out, idx, vals, threads);
+    }
+    let chunk = idx.len().div_ceil(threads);
+    let chunks = idx.len().div_ceil(chunk);
+    let mut partials = take_partials(chunks, out.len());
+    let parts = SendPtr(partials.as_mut_ptr());
+    run_chunks(chunks, &move |c| {
+        // SAFETY: chunk c exclusively owns partials[c].
+        let part: &mut Vec<f32> = unsafe { &mut *parts.get().add(c) };
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(idx.len());
+        for (&i, &v) in idx[lo..hi].iter().zip(&vals[lo..hi]) {
+            part[i as usize] += v;
+        }
+    });
+    for part in &partials {
+        for (o, p) in out.iter_mut().zip(part) {
+            *o += *p;
+        }
+    }
+    return_partials(partials);
+}
+
+/// The pre-pool scatter executor (scoped spawns, fresh partial buffers).
+/// Benchmark baseline only.
+fn spawn_scatter_add(out: &mut [f32], idx: &[u32], vals: &[f32], threads: usize) {
     let chunk = idx.len().div_ceil(threads);
     let mut partials: Vec<Vec<f32>> = Vec::with_capacity(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..threads {
             let lo = c * chunk;
@@ -101,7 +444,7 @@ pub fn par_scatter_add(out: &mut [f32], idx: &[u32], vals: &[f32]) {
             let hi = (lo + chunk).min(idx.len());
             let (idx, vals) = (&idx[lo..hi], &vals[lo..hi]);
             let len = out.len();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut part = vec![0.0f32; len];
                 for (&i, &v) in idx.iter().zip(vals) {
                     part[i as usize] += v;
@@ -112,13 +455,65 @@ pub fn par_scatter_add(out: &mut [f32], idx: &[u32], vals: &[f32]) {
         for h in handles {
             partials.push(h.join().expect("scatter worker panicked"));
         }
-    })
-    .expect("worker thread panicked");
+    });
     for part in partials {
         for (o, p) in out.iter_mut().zip(part) {
             *o += p;
         }
     }
+}
+
+/// Parallel `dst[i] += k * src[i]` — the backward kernel of the linear
+/// ops. Bit-reproducible across all thread counts.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ.
+pub fn par_axpy(dst: &mut [f32], src: &[f32], k: f32) {
+    assert_eq!(dst.len(), src.len(), "axpy operands disagree");
+    par_map_mut(dst, |i, d| *d += k * src[i]);
+}
+
+/// Parallel sum with per-chunk partials merged in chunk order
+/// (bit-reproducible for a fixed thread count).
+pub fn par_sum(x: &[f32]) -> f32 {
+    par_reduce(x.len(), |lo, hi| x[lo..hi].iter().sum())
+}
+
+/// Parallel dot product against a constant weight vector, chunk partials
+/// merged in chunk order (bit-reproducible for a fixed thread count).
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ.
+pub fn par_dot(x: &[f32], w: &[f32]) -> f32 {
+    assert_eq!(x.len(), w.len(), "dot operands disagree");
+    par_reduce(x.len(), |lo, hi| {
+        x[lo..hi].iter().zip(&w[lo..hi]).map(|(a, b)| a * b).sum()
+    })
+}
+
+/// Chunked reduction skeleton: `partial(lo, hi)` per chunk, partials
+/// summed in chunk order.
+fn par_reduce<F>(len: usize, partial: F) -> f32
+where
+    F: Fn(usize, usize) -> f32 + Sync,
+{
+    let threads = num_threads();
+    if len < PAR_THRESHOLD || threads <= 1 || exec_mode() == ExecMode::Spawn {
+        return partial(0, len);
+    }
+    let chunk = len.div_ceil(threads);
+    let chunks = len.div_ceil(chunk);
+    let mut partials = vec![0.0f32; chunks];
+    let parts = SendPtr(partials.as_mut_ptr());
+    run_chunks(chunks, &move |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(len);
+        // SAFETY: chunk c exclusively owns partials[c].
+        unsafe { *parts.get().add(c) = partial(lo, hi) };
+    });
+    partials.iter().sum()
 }
 
 #[cfg(test)]
@@ -197,5 +592,69 @@ mod tests {
         for (a, b) in scatter1.iter().zip(&scatter4a) {
             assert!((a - b).abs() <= 0.01 * a.abs().max(1.0), "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn pool_survives_many_small_dispatches() {
+        // thousands of dispatches through the persistent pool: the
+        // spawn-per-op executor this replaces would create ~8000 threads
+        // here; the pool must not leak or deadlock.
+        set_num_threads(4);
+        let mut out = vec![0.0f32; PAR_THRESHOLD + 1];
+        for round in 0..2000 {
+            let k = round as f32;
+            par_map_mut(&mut out, |i, v| *v = k + i as f32);
+            assert_eq!(out[0], k);
+            assert_eq!(out[PAR_THRESHOLD], k + PAR_THRESHOLD as f32);
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn reductions_are_chunk_stable() {
+        let x: Vec<f32> = (0..200_000).map(|i| ((i % 31) as f32) * 0.125).collect();
+        let w: Vec<f32> = (0..200_000).map(|i| ((i % 17) as f32) * 0.25).collect();
+        set_num_threads(4);
+        let s4a = par_sum(&x);
+        let s4b = par_sum(&x);
+        let d4a = par_dot(&x, &w);
+        let d4b = par_dot(&x, &w);
+        set_num_threads(1);
+        let s1 = par_sum(&x);
+        let d1 = par_dot(&x, &w);
+        set_num_threads(0);
+        assert_eq!(s4a, s4b, "fixed thread count must be bit-stable");
+        assert_eq!(d4a, d4b);
+        assert!((s4a - s1).abs() <= 1e-3 * s1.abs().max(1.0));
+        assert!((d4a - d1).abs() <= 1e-3 * d1.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let src: Vec<f32> = (0..40_000).map(|i| i as f32).collect();
+        let mut dst = vec![1.0f32; 40_000];
+        set_num_threads(3);
+        par_axpy(&mut dst, &src, 0.5);
+        set_num_threads(0);
+        for (i, d) in dst.iter().enumerate() {
+            assert_eq!(*d, 1.0 + 0.5 * i as f32);
+        }
+    }
+
+    #[test]
+    fn spawn_mode_matches_pool_mode() {
+        let n = 100_000;
+        let idx: Vec<u32> = (0..n).map(|i| ((i * 13) % 777) as u32).collect();
+        let vals: Vec<f32> = (0..n).map(|i| (i % 9) as f32).collect();
+        set_num_threads(4);
+        let mut pool_out = vec![0.0f32; 777];
+        par_scatter_add(&mut pool_out, &idx, &vals);
+        set_exec_mode(ExecMode::Spawn);
+        let mut spawn_out = vec![0.0f32; 777];
+        par_scatter_add(&mut spawn_out, &idx, &vals);
+        set_exec_mode(ExecMode::Pool);
+        set_num_threads(0);
+        // identical chunking and merge order → bit-identical results
+        assert_eq!(pool_out, spawn_out);
     }
 }

@@ -1,0 +1,130 @@
+//! Determinism properties of the parallel executor, at the whole-graph
+//! level: random DGR-shaped tapes (segmented softmax → scatter-add →
+//! quadratic overflow) executed under different thread configurations.
+//!
+//! Contract under test (see `parallel` module docs):
+//! * a fixed thread count is **bit-reproducible**, run to run;
+//! * different thread counts agree up to float associativity;
+//! * results are continuous across the `PAR_THRESHOLD` sequential/parallel
+//!   boundary (±1 element).
+
+use std::sync::{Arc, Mutex};
+
+use dgr_autodiff::parallel::{self, par_map_mut, par_scatter_add, par_sum, PAR_THRESHOLD};
+use dgr_autodiff::{Graph, Segments};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `set_num_threads` is process-global; tests that touch it serialize.
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Builds a random DGR-shaped tape and runs one forward + backward sweep
+/// at the given thread count. Returns the loss and the parameter gradient.
+fn run_once(groups: usize, group: usize, seed: u64, threads: usize) -> (f32, Vec<f32>) {
+    parallel::set_num_threads(threads);
+    let n = groups * group;
+    let buckets = (n / 7).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let w = g.param((0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
+    let seg = Arc::new(Segments::uniform(groups, group));
+    let p = g.segmented_softmax(w, seg);
+    let idx: Arc<Vec<u32>> = Arc::new((0..n).map(|_| rng.gen_range(0..buckets as u32)).collect());
+    let d = g.scatter_add(p, idx, buckets);
+    let sq = g.mul(d, d);
+    let loss = g.sum_all(sq);
+    g.forward();
+    g.backward(loss);
+    let out = (g.value(loss)[0], g.grad(w).to_vec());
+    parallel::set_num_threads(0);
+    out
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Same seed, same thread count (4), two runs: bit-identical loss and
+    /// gradients. Sizes straddle `PAR_THRESHOLD` so both the sequential
+    /// and the pooled code paths are exercised.
+    #[test]
+    fn fixed_thread_count_is_bit_reproducible(
+        groups in 1000usize..20_000,
+        group in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let (loss_a, grad_a) = run_once(groups, group, seed, 4);
+        let (loss_b, grad_b) = run_once(groups, group, seed, 4);
+        prop_assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+        prop_assert_eq!(bits(&grad_a), bits(&grad_b));
+    }
+
+    /// One thread vs four: reductions reorder float sums, so results agree
+    /// only up to associativity — but tightly.
+    #[test]
+    fn thread_counts_agree_within_tolerance(
+        groups in 1000usize..20_000,
+        group in 2usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let _guard = THREADS_LOCK.lock().unwrap();
+        let (loss_1, grad_1) = run_once(groups, group, seed, 1);
+        let (loss_4, grad_4) = run_once(groups, group, seed, 4);
+        let tol = |a: f32, b: f32| (a - b).abs() <= 1e-3 * a.abs().max(1.0);
+        prop_assert!(tol(loss_1, loss_4), "loss {} vs {}", loss_1, loss_4);
+        for (a, b) in grad_1.iter().zip(&grad_4) {
+            prop_assert!(tol(*a, *b), "grad {} vs {}", a, b);
+        }
+    }
+}
+
+/// The sequential/parallel switch sits at exactly `PAR_THRESHOLD`
+/// elements: pure maps must be bit-identical on both sides of it (and to
+/// the plain sequential loop), and reductions must stay within
+/// associativity tolerance across the boundary.
+#[test]
+fn par_threshold_boundary_is_seamless() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    for len in [PAR_THRESHOLD - 1, PAR_THRESHOLD, PAR_THRESHOLD + 1] {
+        let src: Vec<f32> = (0..len)
+            .map(|i| ((i % 251) as f32) * 0.321 - 40.0)
+            .collect();
+
+        // Pure map: bit-identical to the sequential loop at any count.
+        parallel::set_num_threads(4);
+        let mut mapped = vec![0.0f32; len];
+        par_map_mut(&mut mapped, |i, v| *v = src[i] * 1.5 + 2.0);
+        parallel::set_num_threads(0);
+        for (i, v) in mapped.iter().enumerate() {
+            assert_eq!(*v, src[i] * 1.5 + 2.0, "map diverged at len {len}, i {i}");
+        }
+
+        // Reductions: fixed count bit-stable, boundary within tolerance.
+        parallel::set_num_threads(4);
+        let s4a = par_sum(&src);
+        let s4b = par_sum(&src);
+        parallel::set_num_threads(1);
+        let s1 = par_sum(&src);
+        parallel::set_num_threads(0);
+        assert_eq!(s4a.to_bits(), s4b.to_bits(), "sum unstable at len {len}");
+        assert!(
+            (s4a - s1).abs() <= 1e-3 * s1.abs().max(1.0),
+            "sum {s4a} vs {s1} at len {len}"
+        );
+
+        // Scatter-add: fixed count bit-stable across the boundary too.
+        let idx: Vec<u32> = (0..len).map(|i| ((i * 31) % 997) as u32).collect();
+        parallel::set_num_threads(4);
+        let mut out_a = vec![0.0f32; 997];
+        par_scatter_add(&mut out_a, &idx, &src);
+        let mut out_b = vec![0.0f32; 997];
+        par_scatter_add(&mut out_b, &idx, &src);
+        parallel::set_num_threads(0);
+        assert_eq!(bits(&out_a), bits(&out_b), "scatter unstable at len {len}");
+    }
+}

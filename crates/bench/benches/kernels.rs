@@ -1,17 +1,16 @@
-//! Criterion micro-benchmarks of the hot kernels: the building blocks
-//! whose throughput determines DGR's per-iteration cost.
+//! Micro-benchmarks of the hot kernels: the building blocks whose
+//! throughput determines DGR's per-iteration cost.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dgr_autodiff::{Graph, Segments};
+use dgr_bench::harness::Harness;
 use dgr_grid::{GcellGrid, Point};
 use dgr_rsmt::{rsmt, tree_candidates, CandidateConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn bench_segmented_softmax(c: &mut Criterion) {
-    let mut group = c.benchmark_group("segmented_softmax");
+fn bench_segmented_softmax(h: &mut Harness) {
     for &n in &[10_000usize, 100_000, 1_000_000] {
         let mut g = Graph::new();
         let mut rng = StdRng::seed_from_u64(1);
@@ -20,19 +19,14 @@ fn bench_segmented_softmax(c: &mut Criterion) {
         let seg = Arc::new(Segments::uniform(n / 2, 2));
         let p = g.segmented_softmax(w, seg);
         let loss = g.sum_all(p);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("fwd_bwd", n), &n, |b, _| {
-            b.iter(|| {
-                g.forward();
-                g.backward(loss);
-            })
+        h.bench_throughput(&format!("segmented_softmax/fwd_bwd/{n}"), n as u64, || {
+            g.forward();
+            g.backward(loss);
         });
     }
-    group.finish();
 }
 
-fn bench_gather_scatter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gather_scatter");
+fn bench_gather_scatter(h: &mut Harness) {
     for &n in &[100_000usize, 1_000_000] {
         let mut rng = StdRng::seed_from_u64(2);
         let mut g = Graph::new();
@@ -44,32 +38,26 @@ fn bench_gather_scatter(c: &mut Criterion) {
         let gathered = g.gather(w, idx);
         let d = g.scatter_add(gathered, tgt, n / 8);
         let loss = g.sum_all(d);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("fwd_bwd", n), &n, |b, _| {
-            b.iter(|| {
-                g.forward();
-                g.backward(loss);
-            })
+        h.bench_throughput(&format!("gather_scatter/fwd_bwd/{n}"), n as u64, || {
+            g.forward();
+            g.backward(loss);
         });
     }
-    group.finish();
 }
 
-fn bench_rsmt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rsmt");
+fn bench_rsmt(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(3);
     for &pins in &[3usize, 5, 8, 20, 64] {
         let pts: Vec<Point> = (0..pins)
             .map(|_| Point::new(rng.gen_range(0..500), rng.gen_range(0..500)))
             .collect();
-        group.bench_with_input(BenchmarkId::new("pins", pins), &pts, |b, pts| {
-            b.iter(|| rsmt(pts).expect("non-empty"))
+        h.bench(&format!("rsmt/pins/{pins}"), || {
+            rsmt(&pts).expect("non-empty");
         });
     }
-    group.finish();
 }
 
-fn bench_forest_build(c: &mut Criterion) {
+fn bench_forest_build(h: &mut Harness) {
     let grid = GcellGrid::new(128, 128).unwrap();
     let mut rng = StdRng::seed_from_u64(4);
     let pools: Vec<_> = (0..2000)
@@ -80,33 +68,30 @@ fn bench_forest_build(c: &mut Criterion) {
             tree_candidates(&pins, &CandidateConfig::default()).expect("pins")
         })
         .collect();
-    c.bench_function("forest_build_2000_nets", |b| {
-        b.iter(|| {
-            dgr_dag::build_forest(&grid, &pools, dgr_dag::PatternConfig::l_only()).expect("in grid")
-        })
+    h.bench("forest_build_2000_nets", || {
+        dgr_dag::build_forest(&grid, &pools, dgr_dag::PatternConfig::l_only()).expect("in grid");
     });
 }
 
-fn bench_maze(c: &mut Criterion) {
+fn bench_maze(h: &mut Harness) {
     let grid = GcellGrid::new(256, 256).unwrap();
-    c.bench_function("maze_route_256", |b| {
-        b.iter(|| {
-            dgr_baseline::maze_route(
-                &grid,
-                Point::new(3, 7),
-                Point::new(250, 240),
-                |_| 1.0,
-                &dgr_baseline::maze::MazeConfig::default(),
-            )
-            .expect("connected")
-        })
+    h.bench("maze_route_256", || {
+        dgr_baseline::maze_route(
+            &grid,
+            Point::new(3, 7),
+            Point::new(250, 240),
+            |_| 1.0,
+            &dgr_baseline::maze::MazeConfig::default(),
+        )
+        .expect("connected");
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_segmented_softmax, bench_gather_scatter, bench_rsmt,
-              bench_forest_build, bench_maze
+fn main() {
+    let mut h = Harness::from_args();
+    bench_segmented_softmax(&mut h);
+    bench_gather_scatter(&mut h);
+    bench_rsmt(&mut h);
+    bench_forest_build(&mut h);
+    bench_maze(&mut h);
 }
-criterion_main!(benches);

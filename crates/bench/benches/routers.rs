@@ -1,9 +1,9 @@
-//! Criterion end-to-end benchmarks: one DGR training iteration and the
-//! full routing pipelines on a small catalog case.
+//! End-to-end benchmarks: one DGR training iteration and the full routing
+//! pipelines on a small catalog case.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dgr_autodiff::Adam;
 use dgr_baseline::{LagrangianRouter, SequentialRouter, SprouteRouter};
+use dgr_bench::harness::Harness;
 use dgr_core::{build_cost_model, DgrConfig, DgrRouter};
 use dgr_io::{IspdLikeConfig, IspdLikeGenerator};
 use rand::rngs::StdRng;
@@ -20,7 +20,7 @@ fn small_design() -> dgr_grid::Design {
     .expect("valid config")
 }
 
-fn bench_train_iteration(c: &mut Criterion) {
+fn bench_train_iteration(h: &mut Harness) {
     let design = small_design();
     let cfg = DgrConfig::default();
     let mut rng = StdRng::seed_from_u64(0);
@@ -32,49 +32,39 @@ fn bench_train_iteration(c: &mut Criterion) {
     let forest = dgr_dag::build_forest(&design.grid, &pools, cfg.patterns).expect("in grid");
     let mut model = build_cost_model(&design, &forest, &cfg, &mut rng);
     let mut adam = Adam::new(&model.graph, cfg.learning_rate);
-    c.bench_function("dgr_train_iteration_500_nets", |b| {
-        b.iter(|| {
-            model.graph.forward();
-            model.graph.backward(model.loss);
-            adam.step(&mut model.graph);
-        })
+    h.bench("dgr_train_iteration_500_nets", || {
+        model.graph.forward();
+        model.graph.backward(model.loss);
+        adam.step(&mut model.graph);
     });
 }
 
-fn bench_full_routers(c: &mut Criterion) {
+fn bench_full_routers(h: &mut Harness) {
     let design = small_design();
-    let mut group = c.benchmark_group("full_route_500_nets");
-    group.sample_size(10);
-    group.bench_function("dgr_100_iters", |b| {
-        b.iter(|| {
-            let mut cfg = DgrConfig::default();
-            cfg.iterations = 100;
-            DgrRouter::new(cfg).route(&design).expect("routable")
-        })
+    h.bench("full_route_500_nets/dgr_100_iters", || {
+        let cfg = DgrConfig {
+            iterations: 100,
+            ..DgrConfig::default()
+        };
+        DgrRouter::new(cfg).route(&design).expect("routable");
     });
-    group.bench_function("sequential", |b| {
-        b.iter(|| {
-            SequentialRouter::default()
-                .route(&design)
-                .expect("routable")
-        })
+    h.bench("full_route_500_nets/sequential", || {
+        SequentialRouter::default()
+            .route(&design)
+            .expect("routable");
     });
-    group.bench_function("sproute", |b| {
-        b.iter(|| SprouteRouter::default().route(&design).expect("routable"))
+    h.bench("full_route_500_nets/sproute", || {
+        SprouteRouter::default().route(&design).expect("routable");
     });
-    group.bench_function("lagrangian", |b| {
-        b.iter(|| {
-            LagrangianRouter::default()
-                .route(&design)
-                .expect("routable")
-        })
+    h.bench("full_route_500_nets/lagrangian", || {
+        LagrangianRouter::default()
+            .route(&design)
+            .expect("routable");
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_train_iteration, bench_full_routers
+fn main() {
+    let mut h = Harness::from_args();
+    bench_train_iteration(&mut h);
+    bench_full_routers(&mut h);
 }
-criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Training-throughput benchmark: measures iterations/second of the
+//! persistent-pool executor against the legacy spawn-per-op executor on
+//! the same cost model, and writes `BENCH_train.json`.
+//!
+//! Usage: `bench_train [--fast]`. Environment overrides:
+//! `DGR_BENCH_NETS` (default 4000), `DGR_BENCH_ITERS` (default 100),
+//! `DGR_BENCH_THREADS` (default: machine parallelism), `DGR_BENCH_OUT`
+//! (default `BENCH_train.json`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use dgr_autodiff::parallel::{self, ExecMode};
+use dgr_autodiff::Adam;
+use dgr_core::{build_cost_model, DgrConfig};
+use dgr_io::{IspdLikeConfig, IspdLikeGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Measurement {
+    iters_per_sec: f64,
+    forward_ms: f64,
+    backward_ms: f64,
+    graph_bytes: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn measure(
+    design: &dgr_grid::Design,
+    cfg: &DgrConfig,
+    iters: usize,
+    mode: ExecMode,
+) -> Measurement {
+    parallel::set_exec_mode(mode);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pools: Vec<_> = design
+        .nets
+        .iter()
+        .map(|n| dgr_rsmt::tree_candidates(&n.pins, &cfg.candidates).expect("pins"))
+        .collect();
+    let forest = dgr_dag::build_forest(&design.grid, &pools, cfg.patterns).expect("in grid");
+    let mut model = build_cost_model(design, &forest, cfg, &mut rng);
+    let mut adam = Adam::new(&model.graph, cfg.learning_rate);
+    // Warm up: first dispatch spawns the pool's worker threads.
+    model.graph.forward();
+    model.graph.backward(model.loss);
+    let mut forward = Duration::ZERO;
+    let mut backward = Duration::ZERO;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let t = Instant::now();
+        model.graph.forward();
+        forward += t.elapsed();
+        let t = Instant::now();
+        model.graph.backward(model.loss);
+        backward += t.elapsed();
+        adam.step(&mut model.graph);
+    }
+    let total = start.elapsed();
+    parallel::set_exec_mode(ExecMode::Pool);
+    Measurement {
+        iters_per_sec: iters as f64 / total.as_secs_f64(),
+        forward_ms: forward.as_secs_f64() * 1e3 / iters as f64,
+        backward_ms: backward.as_secs_f64() * 1e3 / iters as f64,
+        graph_bytes: model.graph.bytes(),
+    }
+}
+
+fn main() {
+    let fast = dgr_bench::fast_flag();
+    let nets = env_usize("DGR_BENCH_NETS", if fast { 1000 } else { 4000 });
+    let iters = env_usize("DGR_BENCH_ITERS", if fast { 30 } else { 100 });
+    let out_path =
+        std::env::var("DGR_BENCH_OUT").unwrap_or_else(|_| "BENCH_train.json".to_string());
+    let side = ((nets as f64).sqrt() * 1.5).round() as u32;
+    let design = IspdLikeGenerator::new(IspdLikeConfig {
+        width: side.max(32),
+        height: side.max(32),
+        num_nets: nets,
+        ..IspdLikeConfig::default()
+    })
+    .generate()
+    .expect("valid config");
+    let cfg = DgrConfig::default();
+    if let Some(t) = std::env::var("DGR_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        parallel::set_num_threads(t);
+    }
+    let threads = parallel::num_threads();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("bench_train: {nets} nets, {iters} iters, {threads} threads ({host_cpus} host cpus)");
+    let swap = std::env::var_os("DGR_BENCH_ORDER").is_some_and(|v| v == "swap");
+    let mut spawn_first = None;
+    if swap {
+        spawn_first = Some(measure(&design, &cfg, iters, ExecMode::Spawn));
+    }
+    let pool = measure(&design, &cfg, iters, ExecMode::Pool);
+    println!(
+        "  pool  executor: {:8.2} iters/s  (fwd {:.3} ms, bwd {:.3} ms)",
+        pool.iters_per_sec, pool.forward_ms, pool.backward_ms
+    );
+    let spawn = spawn_first.unwrap_or_else(|| measure(&design, &cfg, iters, ExecMode::Spawn));
+    println!(
+        "  spawn executor: {:8.2} iters/s  (fwd {:.3} ms, bwd {:.3} ms)",
+        spawn.iters_per_sec, spawn.forward_ms, spawn.backward_ms
+    );
+    let speedup = pool.iters_per_sec / spawn.iters_per_sec;
+    println!(
+        "  speedup: {speedup:.2}x  graph: {} bytes",
+        pool.graph_bytes
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"iters_per_sec\": {:.3},", pool.iters_per_sec);
+    let _ = writeln!(json, "  \"forward_ms\": {:.4},", pool.forward_ms);
+    let _ = writeln!(json, "  \"backward_ms\": {:.4},", pool.backward_ms);
+    let _ = writeln!(json, "  \"graph_bytes\": {},", pool.graph_bytes);
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"nets\": {nets},");
+    let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(
+        json,
+        "  \"baseline_spawn\": {{ \"iters_per_sec\": {:.3}, \"forward_ms\": {:.4}, \"backward_ms\": {:.4} }},",
+        spawn.iters_per_sec, spawn.forward_ms, spawn.backward_ms
+    );
+    let _ = writeln!(json, "  \"speedup_vs_spawn\": {speedup:.3}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,138 @@
+//! A minimal `cargo bench` harness (no external dependencies).
+//!
+//! The build environment has no registry access, so instead of criterion
+//! the `[[bench]]` targets use this hand-rolled harness: each benchmark
+//! is warmed up, then timed over a fixed wall-clock budget, and the
+//! median / mean / min per-iteration times are printed as one row.
+//!
+//! Command-line behaviour mirrors the parts of the criterion CLI that
+//! `cargo bench` itself exercises: flags are ignored and any bare
+//! argument is a substring filter on benchmark names.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark runner: owns the name filter and per-bench time budget.
+#[derive(Debug)]
+pub struct Harness {
+    filter: Option<String>,
+    /// Wall-clock measurement budget per benchmark.
+    budget: Duration,
+    min_samples: usize,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`: bare arguments become a
+    /// substring filter (flags such as `--bench`, which cargo passes, are
+    /// ignored). The `BENCH_BUDGET_MS` environment variable overrides the
+    /// default 500 ms measurement budget per benchmark.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        let budget_ms = std::env::var("BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(500u64);
+        Harness {
+            filter,
+            budget: Duration::from_millis(budget_ms),
+            min_samples: 5,
+        }
+    }
+
+    fn skips(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+
+    /// Times `f`, printing per-iteration statistics.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, f: F) {
+        self.bench_throughput(name, 0, f);
+    }
+
+    /// Times `f`; when `elements > 0` an elements-per-second column is
+    /// added (criterion's `Throughput::Elements` analogue).
+    pub fn bench_throughput<F: FnMut()>(&mut self, name: &str, elements: u64, mut f: F) {
+        if self.skips(name) {
+            return;
+        }
+        // Warm-up: one untimed call, then estimate the per-call cost.
+        f();
+        let probe_start = Instant::now();
+        f();
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+        let total_iters = (self.budget.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as usize;
+        let samples = total_iters.min(50).max(self.min_samples);
+        let iters_per_sample = (total_iters / samples).max(1);
+        let mut times: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                f();
+            }
+            times.push(start.elapsed().as_secs_f64() / iters_per_sample as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let min = times[0];
+        let mut row = format!(
+            "{name:<44} median {:>12}  mean {:>12}  min {:>12}  ({samples} samples × {iters_per_sample} iters)",
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(min),
+        );
+        if elements > 0 {
+            row.push_str(&format!("  {:.3} Melem/s", elements as f64 / median / 1e6));
+        }
+        println!("{row}");
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_across_scales() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_time(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let h = Harness {
+            filter: Some("softmax".into()),
+            budget: Duration::from_millis(1),
+            min_samples: 1,
+        };
+        assert!(!h.skips("segmented_softmax/1000"));
+        assert!(h.skips("maze_route_256"));
+    }
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut h = Harness {
+            filter: None,
+            budget: Duration::from_millis(2),
+            min_samples: 1,
+        };
+        let mut calls = 0u64;
+        h.bench("counter", || calls += 1);
+        assert!(calls > 0);
+    }
+}

@@ -17,6 +17,8 @@
 use std::time::{Duration, Instant};
 
 use dgr_core::{DgrConfig, DgrRouter, RoutingSolution};
+
+pub mod harness;
 use dgr_grid::Design;
 use dgr_io::{IspdLikeConfig, IspdLikeGenerator};
 use dgr_post::{assign_layers, refine, AssignConfig, Assigned3d, RefineConfig};
@@ -217,9 +219,8 @@ mod tests {
         };
         let fast = generate_case(base, true).unwrap();
         assert_eq!(fast.num_nets(), fast_cfg.num_nets);
-        let density = |d: &Design| {
-            d.num_nets() as f64 / (d.grid.width() as f64 * d.grid.height() as f64)
-        };
+        let density =
+            |d: &Design| d.num_nets() as f64 / (d.grid.width() as f64 * d.grid.height() as f64);
         let rel = (density(&fast) - density(&full)).abs() / density(&full);
         assert!(rel < 0.1, "net density drifted {rel:.3} under --fast");
     }

@@ -229,16 +229,22 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_values() {
-        let mut c = DgrConfig::default();
-        c.iterations = 0;
+        let c = DgrConfig {
+            iterations: 0,
+            ..DgrConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DgrConfig::default();
-        c.temperature_decay = 1.5;
+        let c = DgrConfig {
+            temperature_decay: 1.5,
+            ..DgrConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = DgrConfig::default();
-        c.extraction = ExtractionMode::TopP { threshold: 0.0 };
+        let c = DgrConfig {
+            extraction: ExtractionMode::TopP { threshold: 0.0 },
+            ..DgrConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

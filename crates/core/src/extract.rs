@@ -296,10 +296,12 @@ mod tests {
             .map(|n| tree_candidates(&n.pins, &CandidateConfig::single()).unwrap())
             .collect();
         let forest = build_forest(&design.grid, &pools, PatternConfig::l_only()).unwrap();
-        let mut cfg = DgrConfig::default();
-        cfg.iterations = 150;
-        cfg.extraction = mode;
-        cfg.seed = seed;
+        let cfg = DgrConfig {
+            iterations: 150,
+            extraction: mode,
+            seed,
+            ..DgrConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let mut model = build_cost_model(&design, &forest, &cfg, &mut rng);
         train(&mut model, &cfg, &mut rng);

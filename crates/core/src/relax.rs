@@ -190,6 +190,10 @@ pub fn build_cost_model(
         (wl_cost, cfg.weights.wirelength),
     ]);
 
+    // Run the loss-reachability analysis at build time so the first
+    // training iteration pays no planning cost.
+    g.prepare_backward(loss);
+
     CostModel {
         graph: g,
         w_tree,
@@ -311,8 +315,10 @@ mod tests {
     fn overflow_scale_rescales_the_activation_input() {
         let (design, forest) = small_design();
         let mut rng = StdRng::seed_from_u64(4);
-        let mut base_cfg = DgrConfig::default();
-        base_cfg.activation = dgr_autodiff::Activation::Relu;
+        let base_cfg = DgrConfig {
+            activation: dgr_autodiff::Activation::Relu,
+            ..DgrConfig::default()
+        };
         let mut m1 = build_cost_model(&design, &forest, &base_cfg, &mut rng);
         let mut rng = StdRng::seed_from_u64(4);
         let mut scaled_cfg = base_cfg.clone();

@@ -20,6 +20,10 @@ pub struct TrainReport {
     pub final_temperature: f32,
     /// Wall-clock training time.
     pub duration: std::time::Duration,
+    /// Time spent in forward sweeps across all iterations.
+    pub forward_time: std::time::Duration,
+    /// Time spent in backward sweeps across all iterations.
+    pub backward_time: std::time::Duration,
     /// Bytes held by the op tape (values + gradients) — the "GPU memory"
     /// analogue reported in the Fig. 5b reproduction.
     pub graph_bytes: usize,
@@ -35,6 +39,8 @@ pub fn train(model: &mut CostModel, cfg: &DgrConfig, rng: &mut StdRng) -> TrainR
     let mut adam = Adam::new(&model.graph, cfg.learning_rate);
     let mut loss_history = Vec::new();
     let mut final_loss = f32::NAN;
+    let mut forward_time = std::time::Duration::ZERO;
+    let mut backward_time = std::time::Duration::ZERO;
     let mut noise_buf_tree = vec![0.0f32; model.graph.len_of(model.noise_tree)];
     let mut noise_buf_path = vec![0.0f32; model.graph.len_of(model.noise_path)];
 
@@ -47,13 +53,17 @@ pub fn train(model: &mut CostModel, cfg: &DgrConfig, rng: &mut StdRng) -> TrainR
             model.graph.set_data(model.noise_tree, &noise_buf_tree);
             model.graph.set_data(model.noise_path, &noise_buf_path);
         }
+        let fwd_start = std::time::Instant::now();
         model.graph.forward();
+        forward_time += fwd_start.elapsed();
         let loss = model.graph.value(model.loss)[0];
         final_loss = loss;
         if cfg.loss_record_interval > 0 && it % cfg.loss_record_interval == 0 {
             loss_history.push((it, loss));
         }
+        let bwd_start = std::time::Instant::now();
         model.graph.backward(model.loss);
+        backward_time += bwd_start.elapsed();
         adam.step(&mut model.graph);
     }
 
@@ -63,6 +73,8 @@ pub fn train(model: &mut CostModel, cfg: &DgrConfig, rng: &mut StdRng) -> TrainR
         final_loss,
         final_temperature: cfg.temperature_at(cfg.iterations.saturating_sub(1)),
         duration: start.elapsed(),
+        forward_time,
+        backward_time,
         graph_bytes: model.graph.bytes(),
     }
 }
@@ -102,13 +114,15 @@ mod tests {
             .map(|n| tree_candidates(&n.pins, &CandidateConfig::single()).unwrap())
             .collect();
         let forest = build_forest(&design.grid, &pools, PatternConfig::l_only()).unwrap();
-        let mut cfg = DgrConfig::default();
-        cfg.iterations = 200;
-        cfg.loss_record_interval = 50;
         // ReLU gives a crisp separation signal on this symmetric toy; a pure
         // sigmoid is exchange-invariant around the capacity midpoint
         // (σ(1) + σ(−1) = 2σ(0)), so it cannot split two identical nets.
-        cfg.activation = dgr_autodiff::Activation::Relu;
+        let cfg = DgrConfig {
+            iterations: 200,
+            loss_record_interval: 50,
+            activation: dgr_autodiff::Activation::Relu,
+            ..DgrConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let mut model = build_cost_model(&design, &forest, &cfg, &mut rng);
         let report = train(&mut model, &cfg, &mut rng);
@@ -119,8 +133,8 @@ mod tests {
         assert!(report.final_loss < first, "{first} → {}", report.final_loss);
 
         // with noise off at readout, the two nets should prefer opposite Ls
-        model.graph.set_data(model.noise_path, &vec![0.0; 4]);
-        model.graph.set_data(model.noise_tree, &vec![0.0; 2]);
+        model.graph.set_data(model.noise_path, &[0.0; 4]);
+        model.graph.set_data(model.noise_tree, &[0.0; 2]);
         model.graph.forward();
         let p = model.graph.value(model.p);
         let a_choice = p[0] > p[1];
@@ -137,8 +151,10 @@ mod tests {
             .map(|n| tree_candidates(&n.pins, &CandidateConfig::single()).unwrap())
             .collect();
         let forest = build_forest(&design.grid, &pools, PatternConfig::l_only()).unwrap();
-        let mut cfg = DgrConfig::default();
-        cfg.iterations = 5;
+        let cfg = DgrConfig {
+            iterations: 5,
+            ..DgrConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let mut model = build_cost_model(&design, &forest, &cfg, &mut rng);
         let report = train(&mut model, &cfg, &mut rng);
@@ -157,8 +173,10 @@ mod tests {
                 .map(|n| tree_candidates(&n.pins, &CandidateConfig::single()).unwrap())
                 .collect();
             let forest = build_forest(&design.grid, &pools, PatternConfig::l_only()).unwrap();
-            let mut cfg = DgrConfig::default();
-            cfg.iterations = 30;
+            let cfg = DgrConfig {
+                iterations: 30,
+                ..DgrConfig::default()
+            };
             let mut rng = StdRng::seed_from_u64(seed);
             let mut model = build_cost_model(&design, &forest, &cfg, &mut rng);
             train(&mut model, &cfg, &mut rng).final_loss

@@ -317,7 +317,7 @@ mod tests {
         ];
         let pool = tree_candidates(&pins, &CandidateConfig::default()).unwrap();
         assert!(pool.len() > 1, "expected several candidates");
-        let f = build_forest(&g, &[pool.clone()], PatternConfig::l_only()).unwrap();
+        let f = build_forest(&g, std::slice::from_ref(&pool), PatternConfig::l_only()).unwrap();
         assert_eq!(f.num_trees(), pool.len());
         let total: usize = (0..f.num_trees()).map(|t| f.subnets_of_tree(t).len()).sum();
         assert_eq!(total, f.num_subnets());

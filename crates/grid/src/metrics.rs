@@ -214,7 +214,8 @@ mod tests {
     #[test]
     fn csv_export_has_one_row_per_edge() {
         let (g, cap, mut d) = setup(2.0);
-        d.add_segment(&g, Point::new(0, 0), Point::new(1, 0)).unwrap();
+        d.add_segment(&g, Point::new(0, 0), Point::new(1, 0))
+            .unwrap();
         let r = CongestionReport::measure(&g, &cap, &d);
         let csv = r.to_csv(&g);
         assert_eq!(csv.lines().count(), g.num_edges() + 1);

@@ -38,8 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // comparison matches the Table-2 pipeline
     let mut seq = SequentialRouter::default().route(&design)?;
     refine(&design, &mut seq, RefineConfig::default())?;
-    let mut cfg = DgrConfig::default();
-    cfg.iterations = 300;
+    let cfg = DgrConfig {
+        iterations: 300,
+        ..DgrConfig::default()
+    };
     let mut dgr = DgrRouter::new(cfg).route(&design)?;
     refine(&design, &mut dgr, RefineConfig::default())?;
 

@@ -29,8 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 3. route with a short training schedule (tiny design)
-    let mut config = DgrConfig::default();
-    config.iterations = 200;
+    let config = DgrConfig {
+        iterations: 200,
+        ..DgrConfig::default()
+    };
     let solution = DgrRouter::new(config).route(&design)?;
 
     // 4. inspect

@@ -20,8 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .generate()?;
 
     // 2D pattern routing
-    let mut cfg = DgrConfig::default();
-    cfg.iterations = 250;
+    let cfg = DgrConfig {
+        iterations: 250,
+        ..DgrConfig::default()
+    };
     let mut solution = DgrRouter::new(cfg).route(&design)?;
     println!(
         "2D solution: WL {}, turns {}, overflowed edges {}",

@@ -170,7 +170,7 @@ fn cmd_compare(args: &[String]) -> CliResult {
         "router", "wirelength", "turns", "ovf edges", "ovf total", "t(s)"
     );
     let run = |name: &str,
-                   solve: &mut dyn FnMut() -> Result<
+               solve: &mut dyn FnMut() -> Result<
         dgr::core::RoutingSolution,
         Box<dyn std::error::Error>,
     >|

@@ -59,8 +59,10 @@ fn assert_valid(design: &Design, solution: &RoutingSolution, router: &str) {
 #[test]
 fn all_routers_produce_valid_solutions() {
     let design = shared_design(21);
-    let mut cfg = DgrConfig::default();
-    cfg.iterations = 100;
+    let cfg = DgrConfig {
+        iterations: 100,
+        ..DgrConfig::default()
+    };
     let dgr = DgrRouter::new(cfg).route(&design).unwrap();
     assert_valid(&design, &dgr, "dgr");
     let seq = SequentialRouter::default().route(&design).unwrap();
@@ -79,8 +81,10 @@ fn all_routers_meet_the_steiner_lower_bound() {
         .iter()
         .map(|n| dgr::rsmt::rsmt(&n.pins).map(|t| t.length()).unwrap_or(0))
         .sum();
-    let mut cfg = DgrConfig::default();
-    cfg.iterations = 100;
+    let cfg = DgrConfig {
+        iterations: 100,
+        ..DgrConfig::default()
+    };
     for (name, wl) in [
         (
             "dgr",

@@ -20,10 +20,11 @@ fn small_catalog_design(seed: u64) -> Design {
 }
 
 fn quick_config(seed: u64) -> DgrConfig {
-    let mut cfg = DgrConfig::default();
-    cfg.iterations = 120;
-    cfg.seed = seed;
-    cfg
+    DgrConfig {
+        iterations: 120,
+        seed,
+        ..DgrConfig::default()
+    }
 }
 
 #[test]

@@ -83,6 +83,44 @@ proptest! {
     }
 }
 
+/// Counters incremented concurrently from pool worker threads must sum
+/// exactly (relaxed `fetch_add` loses nothing), and the pool's own
+/// dispatch metrics must stay consistent: every dispatched job is claimed
+/// as at least one chunk.
+#[test]
+fn pool_counter_increments_sum_exactly() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let len = PAR_THRESHOLD * 4;
+    let touched = dgr_obs::counter("test.pool_touched");
+    parallel::set_num_threads(4);
+    dgr_obs::set_enabled(true);
+    let before_jobs = dgr_obs::counter("pool.jobs_dispatched").get();
+    let before_chunks = dgr_obs::counter("pool.chunks_claimed").get();
+    let base = touched.get();
+    let rounds = 8usize;
+    let mut buf = vec![0.0f32; len];
+    for _ in 0..rounds {
+        par_map_mut(&mut buf, |i, v| {
+            touched.add(1);
+            *v = i as f32;
+        });
+    }
+    dgr_obs::set_enabled(false);
+    parallel::set_num_threads(0);
+    assert_eq!(
+        touched.get() - base,
+        (rounds * len) as u64,
+        "lost counter increments under concurrency"
+    );
+    let jobs = dgr_obs::counter("pool.jobs_dispatched").get() - before_jobs;
+    let chunks = dgr_obs::counter("pool.chunks_claimed").get() - before_chunks;
+    assert_eq!(jobs, rounds as u64, "one dispatched job per par_map_mut");
+    assert!(
+        chunks >= jobs,
+        "every job is claimed as at least one chunk ({chunks} < {jobs})"
+    );
+}
+
 /// The sequential/parallel switch sits at exactly `PAR_THRESHOLD`
 /// elements: pure maps must be bit-identical on both sides of it (and to
 /// the plain sequential loop), and reductions must stay within

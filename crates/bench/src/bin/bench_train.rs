@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 
 use dgr_autodiff::parallel::{self, ExecMode};
 use dgr_autodiff::Adam;
-use dgr_core::{build_cost_model, DgrConfig};
+use dgr_core::{build_cost_model, extract_solution, DgrConfig};
 use dgr_io::{IspdLikeConfig, IspdLikeGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,6 +22,32 @@ struct Measurement {
     forward_ms: f64,
     backward_ms: f64,
     graph_bytes: usize,
+}
+
+/// Per-phase mean milliseconds sourced from the `dgr-obs` span registry
+/// (the pool run records `forward`/`backward`/`adam` spans per iteration
+/// plus one `extract` span).
+struct Phases {
+    forward_ms: f64,
+    backward_ms: f64,
+    adam_ms: f64,
+    extract_ms: f64,
+}
+
+fn phases_from_spans() -> Phases {
+    let mean_ms = |name: &str| {
+        dgr_obs::span_totals()
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.mean().as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    };
+    Phases {
+        forward_ms: mean_ms("forward"),
+        backward_ms: mean_ms("backward"),
+        adam_ms: mean_ms("adam"),
+        extract_ms: mean_ms("extract"),
+    }
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -55,14 +81,24 @@ fn measure(
     let start = Instant::now();
     for _ in 0..iters {
         let t = Instant::now();
-        model.graph.forward();
+        {
+            let _s = dgr_obs::span("train", "forward");
+            model.graph.forward();
+        }
         forward += t.elapsed();
         let t = Instant::now();
-        model.graph.backward(model.loss);
+        {
+            let _s = dgr_obs::span("train", "backward");
+            model.graph.backward(model.loss);
+        }
         backward += t.elapsed();
+        let _s = dgr_obs::span("train", "adam");
         adam.step(&mut model.graph);
     }
     let total = start.elapsed();
+    // One extraction so the phase table covers the full route pipeline
+    // (extract_solution records its own `extract` span).
+    extract_solution(design, &forest, &mut model, cfg).expect("extract");
     parallel::set_exec_mode(ExecMode::Pool);
     Measurement {
         iters_per_sec: iters as f64 / total.as_secs_f64(),
@@ -105,10 +141,20 @@ fn main() {
     if swap {
         spawn_first = Some(measure(&design, &cfg, iters, ExecMode::Spawn));
     }
+    // Span-source the per-phase breakdown from the pool run only; the
+    // spawn baseline measures with observability off, as before.
+    dgr_obs::reset();
+    dgr_obs::set_enabled(true);
     let pool = measure(&design, &cfg, iters, ExecMode::Pool);
+    dgr_obs::set_enabled(false);
+    let phases = phases_from_spans();
     println!(
         "  pool  executor: {:8.2} iters/s  (fwd {:.3} ms, bwd {:.3} ms)",
         pool.iters_per_sec, pool.forward_ms, pool.backward_ms
+    );
+    println!(
+        "  phase means   : fwd {:.3} ms, bwd {:.3} ms, adam {:.3} ms, extract {:.3} ms",
+        phases.forward_ms, phases.backward_ms, phases.adam_ms, phases.extract_ms
     );
     let spawn = spawn_first.unwrap_or_else(|| measure(&design, &cfg, iters, ExecMode::Spawn));
     println!(
@@ -131,6 +177,11 @@ fn main() {
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
     let _ = writeln!(json, "  \"nets\": {nets},");
     let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(
+        json,
+        "  \"phases\": {{ \"forward_ms\": {:.4}, \"backward_ms\": {:.4}, \"adam_ms\": {:.4}, \"extract_ms\": {:.4} }},",
+        phases.forward_ms, phases.backward_ms, phases.adam_ms, phases.extract_ms
+    );
     let _ = writeln!(
         json,
         "  \"baseline_spawn\": {{ \"iters_per_sec\": {:.3}, \"forward_ms\": {:.4}, \"backward_ms\": {:.4} }},",

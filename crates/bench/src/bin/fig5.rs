@@ -27,8 +27,14 @@ fn main() {
 
     println!("Fig. 5: runtime and memory vs number of nets");
     println!(
-        "{:>8} {:>8} | {:>10} {:>10} | {:>12} {:>14} {:>12}",
-        "nets", "grid", "DGR t(s)", "seq t(s)", "peak RSS MB", "tape+forest MB", "loss(final)"
+        "{:>8} {:>8} | {:>10} {:>10} | {:>12} {:>14} {:>22}",
+        "nets",
+        "grid",
+        "DGR t(s)",
+        "seq t(s)",
+        "peak RSS MB",
+        "tape+forest MB",
+        "loss(first→final)"
     );
 
     for &nets in &sizes {
@@ -55,18 +61,21 @@ fn main() {
         let report = solution.train_report.as_ref().expect("train report");
         let graph_mb = report.graph_bytes as f64 / (1024.0 * 1024.0);
         let snap = memory_snapshot();
+        // the retained curve replaces the old ad-hoc final-loss readout
+        let loss0 = report.curve.first().map_or(f32::NAN, |p| p.loss);
 
         let seq = run_baseline(&design, |d| SequentialRouter::default().route(d))
             .expect("sequential route");
 
         println!(
-            "{:>8} {:>8} | {:>10.2} {:>10.2} | {:>12.1} {:>14.1} {:>12.1}",
+            "{:>8} {:>8} | {:>10.2} {:>10.2} | {:>12.1} {:>14.1} {:>10.1} → {:<9.1}",
             nets,
             format!("{side}x{side}"),
             dgr_time.as_secs_f64(),
             seq.runtime.as_secs_f64(),
             snap.peak_rss as f64 / (1024.0 * 1024.0),
             graph_mb,
+            loss0,
             report.final_loss,
         );
     }

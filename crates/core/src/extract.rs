@@ -32,6 +32,7 @@ pub fn extract_solution(
     model: &mut CostModel,
     cfg: &DgrConfig,
 ) -> Result<RoutingSolution, DgrError> {
+    let _span = dgr_obs::span("route", "extract");
     // deterministic read-out: no noise, final temperature
     let zero_tree = vec![0.0f32; model.graph.len_of(model.noise_tree)];
     let zero_path = vec![0.0f32; model.graph.len_of(model.noise_path)];

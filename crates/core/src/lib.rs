@@ -50,9 +50,12 @@ pub use config::{CostWeights, DgrConfig, ExtractionMode};
 pub use extract::extract_solution;
 pub use relax::{build_cost_model, CostModel};
 pub use solution::{NetRoute, RoutePath, RoutingSolution, SolutionMetrics};
-pub use train::{train, TrainReport};
+pub use train::{
+    train, train_with_hooks, CurvePoint, ProgressConfig, TrainHooks, TrainReport, CURVE_POINTS,
+};
 
 use dgr_grid::Design;
+use dgr_obs::TelemetrySink;
 
 /// Errors produced by the DGR pipeline.
 #[derive(Debug)]
@@ -107,6 +110,21 @@ impl From<dgr_grid::GridError> for DgrError {
     }
 }
 
+/// Observability hooks threaded through [`DgrRouter::route_with_hooks`].
+///
+/// The default hooks are inert — [`DgrRouter::route`] uses them — so the
+/// instrumented pipeline costs nothing at uninstrumented call sites.
+#[derive(Debug, Default)]
+pub struct RouteHooks {
+    /// Per-iteration JSONL telemetry destination (owned; flushed when the
+    /// run completes or the hooks drop).
+    pub telemetry: Option<TelemetrySink>,
+    /// Throttled stderr progress line during training.
+    pub progress: Option<ProgressConfig>,
+    /// Skip RSS sampling in telemetry rows (determinism tests set this).
+    pub skip_rss: bool,
+}
+
 /// The end-to-end differentiable global router.
 ///
 /// Owns a [`DgrConfig`] and runs the full pipeline in [`DgrRouter::route`].
@@ -136,35 +154,65 @@ impl DgrRouter {
     /// Returns a [`DgrError`] if tree construction, forest construction,
     /// or solution realization fails, or if the configuration is invalid.
     pub fn route(&self, design: &Design) -> Result<RoutingSolution, DgrError> {
+        self.route_with_hooks(design, &mut RouteHooks::default())
+    }
+
+    /// [`DgrRouter::route`] with observability hooks: pipeline-phase spans
+    /// (`candidates` / `forest` / `relax` / `extract` under the `route`
+    /// category), per-iteration telemetry, and a progress line.
+    ///
+    /// Iteration numbering in telemetry rows and the retained
+    /// [`TrainReport::curve`] is monotone across adaptive rounds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DgrRouter::route`].
+    pub fn route_with_hooks(
+        &self,
+        design: &Design,
+        hooks: &mut RouteHooks,
+    ) -> Result<RoutingSolution, DgrError> {
+        let _route_span = dgr_obs::span("route", "route");
         self.config.validate()?;
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
 
         // 1. per-net tree candidate pools
-        let mut cand_cfg = self.config.candidates.clone();
-        cand_cfg.clamp = Some(design.grid.bounds());
         let mut pools = Vec::with_capacity(design.nets.len());
-        for net in &design.nets {
-            pools.push(dgr_rsmt::tree_candidates(&net.pins, &cand_cfg)?);
+        {
+            let _s = dgr_obs::span("route", "candidates");
+            let mut cand_cfg = self.config.candidates.clone();
+            cand_cfg.clamp = Some(design.grid.bounds());
+            for net in &design.nets {
+                pools.push(dgr_rsmt::tree_candidates(&net.pins, &cand_cfg)?);
+            }
         }
 
         let mut extras: std::collections::HashMap<usize, Vec<dgr_dag::PatternPath>> =
             Default::default();
         let mut warm_start: Option<expand::WarmStart> = None;
         let mut total_duration = std::time::Duration::ZERO;
+        let mut iter_offset = 0usize;
+        let mut curve_acc: Vec<train::CurvePoint> = Vec::new();
 
         for round in 0..=self.config.adaptive_rounds {
             // 2. DAG forest (with any adaptive extras)
-            let forest = dgr_dag::build_forest_with_extras(
-                &design.grid,
-                &pools,
-                self.config.patterns,
-                &extras,
-            )?;
+            let forest = {
+                let _s = dgr_obs::span("route", "forest");
+                dgr_dag::build_forest_with_extras(
+                    &design.grid,
+                    &pools,
+                    self.config.patterns,
+                    &extras,
+                )?
+            };
 
             // 3. continuous relaxation + training (warm-started after the
             // first round)
-            let mut model = build_cost_model(design, &forest, &self.config, &mut rng);
+            let mut model = {
+                let _s = dgr_obs::span("route", "relax");
+                build_cost_model(design, &forest, &self.config, &mut rng)
+            };
             if let Some(warm) = &warm_start {
                 warm.apply(&forest, &mut model);
             }
@@ -172,18 +220,33 @@ impl DgrRouter {
             if round > 0 {
                 round_cfg.iterations = self.config.adaptive_iterations.max(1);
             }
-            let mut report = train(&mut model, &round_cfg, &mut rng);
+            let mut train_hooks = TrainHooks {
+                telemetry: hooks.telemetry.as_mut(),
+                progress: hooks.progress,
+                iter_offset,
+                skip_rss: hooks.skip_rss,
+            };
+            let report = train_with_hooks(&mut model, &round_cfg, &mut rng, &mut train_hooks);
             total_duration += report.duration;
+            iter_offset += round_cfg.iterations;
+            curve_acc.extend(report.curve.iter().copied());
 
             // 4. discrete extraction
-            let mut solution = extract_solution(design, &forest, &mut model, &round_cfg)?;
+            let solution = extract_solution(design, &forest, &mut model, &round_cfg)?;
 
             let done = round == self.config.adaptive_rounds
                 || solution.metrics.overflow.overflowed_edges == 0;
-            if done {
+            let mut finish = |mut report: TrainReport, mut solution: RoutingSolution| {
                 report.duration = total_duration;
+                report.curve = std::mem::take(&mut curve_acc);
                 solution.train_report = Some(report);
-                return Ok(solution);
+                if let Some(sink) = hooks.telemetry.as_mut() {
+                    sink.flush();
+                }
+                solution
+            };
+            if done {
+                return Ok(finish(report, solution));
             }
 
             // 5. adaptive expansion: congested sub-nets get maze-derived
@@ -191,9 +254,7 @@ impl DgrRouter {
             let grew = expand::grow_extras(design, &forest, &solution, &mut extras);
             warm_start = Some(expand::WarmStart::capture(&forest, &model));
             if !grew {
-                report.duration = total_duration;
-                solution.train_report = Some(report);
-                return Ok(solution);
+                return Ok(finish(report, solution));
             }
         }
         unreachable!("loop returns on its final round");

@@ -1,11 +1,41 @@
 //! The training loop: Adam over the expected cost with temperature
 //! annealing and per-iteration Gumbel noise resampling.
+//!
+//! The loop is instrumented through `dgr-obs` (see [`TrainHooks`]):
+//! per-iteration `forward`/`backward`/`adam` spans when the global
+//! observability switch is on, per-iteration JSONL telemetry rows when a
+//! [`TelemetrySink`] is attached, and a throttled stderr progress line
+//! when a [`ProgressConfig`] is attached. With no hooks and observability
+//! off, the loop is byte-for-byte the uninstrumented hot path plus one
+//! relaxed atomic load per iteration phase.
+
+use std::time::{Duration, Instant};
 
 use dgr_autodiff::{gumbel, Adam};
+use dgr_obs::{IterationRow, TelemetrySink};
 use rand::rngs::StdRng;
 
 use crate::config::DgrConfig;
+use crate::memory::memory_snapshot;
 use crate::relax::CostModel;
+
+/// Maximum number of [`CurvePoint`]s retained in a [`TrainReport`].
+pub const CURVE_POINTS: usize = 256;
+
+/// How often the training loop re-reads the process RSS for telemetry
+/// (`/proc` reads are microseconds — cheap, but not per-iteration cheap).
+const RSS_SAMPLE_INTERVAL: usize = 16;
+
+/// One retained sample of the training trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Iteration index (offset by [`TrainHooks::iter_offset`]).
+    pub iter: usize,
+    /// Total weighted loss at this iteration.
+    pub loss: f32,
+    /// Unweighted expected-overflow term at this iteration.
+    pub overflow: f32,
+}
 
 /// What happened during training — loss trajectory, timings, memory.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,19 +44,61 @@ pub struct TrainReport {
     pub iterations: usize,
     /// `(iteration, loss)` samples at `loss_record_interval`.
     pub loss_history: Vec<(usize, f32)>,
+    /// Downsampled loss/overflow trajectory (≤ [`CURVE_POINTS`] samples,
+    /// final iteration always included) retained so comparison tooling
+    /// (`dgr compare`, fig5/fig6) does not re-derive it ad hoc.
+    pub curve: Vec<CurvePoint>,
     /// Loss of the final iteration.
     pub final_loss: f32,
     /// Final annealed temperature.
     pub final_temperature: f32,
     /// Wall-clock training time.
-    pub duration: std::time::Duration,
+    pub duration: Duration,
     /// Time spent in forward sweeps across all iterations.
-    pub forward_time: std::time::Duration,
+    pub forward_time: Duration,
     /// Time spent in backward sweeps across all iterations.
-    pub backward_time: std::time::Duration,
+    pub backward_time: Duration,
     /// Bytes held by the op tape (values + gradients) — the "GPU memory"
     /// analogue reported in the Fig. 5b reproduction.
     pub graph_bytes: usize,
+}
+
+/// Throttled stderr progress reporting for long `dgr route` runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressConfig {
+    /// Print every `every` iterations (the final iteration always
+    /// prints).
+    pub every: usize,
+    /// Minimum wall-clock gap between lines, so tiny fast runs do not
+    /// flood stderr.
+    pub min_gap: Duration,
+}
+
+impl Default for ProgressConfig {
+    fn default() -> Self {
+        ProgressConfig {
+            every: 100,
+            min_gap: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Optional instrumentation threaded through [`train_with_hooks`].
+///
+/// The default hooks are inert: [`train`] forwards to them, so the
+/// uninstrumented call sites behave exactly as before.
+#[derive(Debug, Default)]
+pub struct TrainHooks<'a> {
+    /// Per-iteration JSONL telemetry destination.
+    pub telemetry: Option<&'a mut TelemetrySink>,
+    /// Throttled stderr progress line.
+    pub progress: Option<ProgressConfig>,
+    /// Added to every reported iteration index, so adaptive rounds
+    /// continue numbering instead of restarting at zero.
+    pub iter_offset: usize,
+    /// Skip RSS sampling in telemetry rows (`mem_rss` stays 0). RSS is
+    /// inherently nondeterministic; the determinism tests disable it.
+    pub skip_rss: bool,
 }
 
 /// Trains `model` in place per `cfg` and returns the report.
@@ -35,14 +107,31 @@ pub struct TrainReport {
 /// schedule, resample Gumbel noise (if enabled), forward, backward, Adam
 /// step. The graph is never rebuilt.
 pub fn train(model: &mut CostModel, cfg: &DgrConfig, rng: &mut StdRng) -> TrainReport {
-    let start = std::time::Instant::now();
+    train_with_hooks(model, cfg, rng, &mut TrainHooks::default())
+}
+
+/// [`train`] with observability hooks: telemetry rows, progress lines,
+/// and per-iteration phase spans (`forward` / `backward` / `adam` under
+/// the `train` category) recorded when `dgr_obs::enabled()`.
+pub fn train_with_hooks(
+    model: &mut CostModel,
+    cfg: &DgrConfig,
+    rng: &mut StdRng,
+    hooks: &mut TrainHooks<'_>,
+) -> TrainReport {
+    let _train_span = dgr_obs::span("train", "train");
+    let start = Instant::now();
     let mut adam = Adam::new(&model.graph, cfg.learning_rate);
     let mut loss_history = Vec::new();
+    let mut curve = Vec::new();
     let mut final_loss = f32::NAN;
-    let mut forward_time = std::time::Duration::ZERO;
-    let mut backward_time = std::time::Duration::ZERO;
+    let mut forward_time = Duration::ZERO;
+    let mut backward_time = Duration::ZERO;
     let mut noise_buf_tree = vec![0.0f32; model.graph.len_of(model.noise_tree)];
     let mut noise_buf_path = vec![0.0f32; model.graph.len_of(model.noise_path)];
+    let curve_stride = cfg.iterations.div_ceil(CURVE_POINTS).max(1);
+    let mut last_progress: Option<Instant> = None;
+    let mut rss_cache = 0u64;
 
     for it in 0..cfg.iterations {
         let temp = cfg.temperature_at(it);
@@ -53,23 +142,82 @@ pub fn train(model: &mut CostModel, cfg: &DgrConfig, rng: &mut StdRng) -> TrainR
             model.graph.set_data(model.noise_tree, &noise_buf_tree);
             model.graph.set_data(model.noise_path, &noise_buf_path);
         }
-        let fwd_start = std::time::Instant::now();
-        model.graph.forward();
+        let fwd_start = Instant::now();
+        {
+            let _s = dgr_obs::span("train", "forward");
+            model.graph.forward();
+        }
         forward_time += fwd_start.elapsed();
         let loss = model.graph.value(model.loss)[0];
         final_loss = loss;
         if cfg.loss_record_interval > 0 && it % cfg.loss_record_interval == 0 {
             loss_history.push((it, loss));
         }
-        let bwd_start = std::time::Instant::now();
-        model.graph.backward(model.loss);
+        let last_iter = it + 1 == cfg.iterations;
+        if it % curve_stride == 0 || last_iter {
+            curve.push(CurvePoint {
+                iter: hooks.iter_offset + it,
+                loss,
+                overflow: model.graph.value(model.overflow_cost)[0],
+            });
+        }
+        let bwd_start = Instant::now();
+        {
+            let _s = dgr_obs::span("train", "backward");
+            model.graph.backward(model.loss);
+        }
         backward_time += bwd_start.elapsed();
-        adam.step(&mut model.graph);
+        if let Some(sink) = hooks.telemetry.as_deref_mut() {
+            if !hooks.skip_rss && (it % RSS_SAMPLE_INTERVAL == 0 || last_iter) {
+                rss_cache = memory_snapshot().rss;
+            }
+            let grad_sq: f32 = model
+                .graph
+                .grad(model.w_tree)
+                .iter()
+                .chain(model.graph.grad(model.w_path))
+                .map(|g| g * g)
+                .sum();
+            sink.record(&IterationRow {
+                iter: hooks.iter_offset + it,
+                loss,
+                wl: model.graph.value(model.wl_cost)[0],
+                vias: model.graph.value(model.via_cost)[0],
+                overflow: model.graph.value(model.overflow_cost)[0],
+                temperature: temp,
+                grad_norm: grad_sq.sqrt(),
+                mem_rss: rss_cache,
+            });
+        }
+        {
+            let _s = dgr_obs::span("train", "adam");
+            adam.step(&mut model.graph);
+        }
+        if let Some(progress) = hooks.progress {
+            let due = progress.every > 0 && (it % progress.every == 0 || last_iter);
+            let spaced = last_progress.is_none_or(|t| t.elapsed() >= progress.min_gap);
+            if due && (spaced || last_iter) {
+                last_progress = Some(Instant::now());
+                eprintln!(
+                    "[dgr] iter {:>6}/{}  loss {:>12.4}  overflow {:>10.4}  elapsed {:.1}s",
+                    hooks.iter_offset + it,
+                    hooks.iter_offset + cfg.iterations,
+                    loss,
+                    model.graph.value(model.overflow_cost)[0],
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+        }
+    }
+
+    if let Some(sink) = hooks.telemetry.as_deref_mut() {
+        sink.flush();
     }
 
     TrainReport {
         iterations: cfg.iterations,
         loss_history,
+        curve,
         final_loss,
         final_temperature: cfg.temperature_at(cfg.iterations.saturating_sub(1)),
         duration: start.elapsed(),

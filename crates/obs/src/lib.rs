@@ -1,0 +1,124 @@
+#![warn(missing_docs)]
+
+//! `dgr-obs` — the observability substrate of the DGR reproduction.
+//!
+//! Training-loop dynamics (loss decomposition, temperature annealing,
+//! executor behaviour) are what the paper's quality/runtime story hinges
+//! on, so every layer of the pipeline reports into this crate:
+//!
+//! * [`span`] / [`SpanGuard`] — hierarchical wall-clock span timers with a
+//!   thread-safe global registry and Chrome-trace-event JSON export
+//!   (loadable in `chrome://tracing` or Perfetto),
+//! * [`counter`] / [`gauge`] / [`histogram`] — a metrics registry whose
+//!   hot-path recording is a single relaxed atomic op,
+//! * [`TelemetrySink`] — a per-iteration training telemetry sink emitting
+//!   JSONL rows (`{iter, loss, wl, vias, overflow, temperature,
+//!   grad_norm, mem_rss}`).
+//!
+//! # Overhead contract
+//!
+//! Observability is **off by default**. Every recording site first checks
+//! [`enabled`] — one relaxed atomic load and a predictable branch — so
+//! uninstrumented hot paths (the worker-pool dispatch, the training
+//! inner loop) stay branch-predictable and bench-neutral. Flip the master
+//! switch with [`set_enabled`]; telemetry sinks are explicit objects and
+//! work regardless of the switch.
+//!
+//! The crate has zero external dependencies, matching the offline
+//! `compat/` policy of the workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! dgr_obs::set_enabled(true);
+//! {
+//!     let _s = dgr_obs::span("demo", "work");
+//!     dgr_obs::counter("demo.widgets").add(3);
+//! }
+//! let totals = dgr_obs::span_totals();
+//! assert!(totals.iter().any(|t| t.name == "work" && t.count == 1));
+//! let trace = dgr_obs::chrome_trace();
+//! assert!(trace.contains("\"ph\":\"X\""));
+//! dgr_obs::set_enabled(false);
+//! dgr_obs::reset();
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod span;
+pub mod telemetry;
+
+pub use metrics::{
+    counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
+    MetricSnapshot, MetricValue,
+};
+pub use span::{
+    chrome_trace, reset_spans, span, span_totals, write_chrome_trace, SpanGuard, SpanTotal,
+};
+pub use telemetry::{IterationRow, TelemetrySink};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether observability recording is on. One relaxed load — safe to call
+/// on any hot path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Flips the master recording switch. Spans and metric recordings are
+/// dropped while off; [`TelemetrySink`]s are unaffected (they are
+/// explicit objects, not ambient state).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Clears all recorded spans and zeroes all metrics (registrations
+/// survive). Tests and repeated CLI commands use this between runs.
+pub fn reset() {
+    reset_spans();
+    reset_metrics();
+}
+
+/// Serializes tests that toggle the global [`enabled`] flag (they would
+/// race under the default parallel test runner).
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_switch_gates_recording() {
+        let _guard = crate::test_lock();
+        set_enabled(false);
+        reset();
+        {
+            let _s = span("t", "off-span");
+            counter("t.off").add(5);
+        }
+        assert!(span_totals().iter().all(|t| t.name != "off-span"));
+        assert_eq!(counter("t.off").get(), 0);
+
+        set_enabled(true);
+        {
+            let _s = span("t", "on-span");
+            counter("t.on").add(5);
+        }
+        set_enabled(false);
+        let totals = span_totals();
+        let on = totals.iter().find(|t| t.name == "on-span").unwrap();
+        assert_eq!(on.count, 1);
+        assert_eq!(counter("t.on").get(), 5);
+        reset();
+    }
+}

@@ -1,0 +1,378 @@
+//! Counters, gauges and histograms with atomic hot-path recording.
+//!
+//! Metrics are registered by name ([`counter`], [`gauge`], [`histogram`])
+//! and returned as `&'static` handles — registration takes a mutex once,
+//! after which recording is a single relaxed atomic RMW (plus the
+//! [`crate::enabled`] check). Call sites on hot paths cache the handle in
+//! a `OnceLock` so the registry lock is never touched again:
+//!
+//! ```
+//! use std::sync::OnceLock;
+//! static DISPATCHES: OnceLock<&'static dgr_obs::Counter> = OnceLock::new();
+//! let c = DISPATCHES.get_or_init(|| dgr_obs::counter("pool.jobs_dispatched"));
+//! c.add(1);
+//! ```
+//!
+//! Counters sum **exactly** under concurrency (`fetch_add` on an
+//! `AtomicU64`) — the worker-pool instrumentation and its tests rely on
+//! this.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` — a relaxed `fetch_add` when enabled, a relaxed load
+    /// otherwise. Concurrent adds sum exactly.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins `f64` gauge (stored as bit pattern).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the gauge (when enabled).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two histogram buckets (values ≥ 2⁶³ clamp into the
+/// last).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` samples (e.g. nanosecond
+/// durations). Bucket `i` holds values in `[2^(i-1), 2^i)`; bucket 0
+/// holds zero and one.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample (when enabled): three relaxed RMWs.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let b = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Upper bound (2^b) of the bucket containing quantile `q ∈ [0, 1]` —
+    /// an order-of-magnitude estimate, which is what log₂ buckets buy.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * n as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target.max(1) {
+                return 1u64.checked_shl(b as u32).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Registered {
+    name: &'static str,
+    metric: MetricRef,
+}
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<Registered>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Registered>>> = OnceLock::new();
+    // poison-tolerant: a panic during registration (e.g. a kind mismatch)
+    // must not take the whole registry down with it
+    match REGISTRY.get_or_init(|| Mutex::new(Vec::new())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Returns (registering on first use) the counter named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry();
+    for r in reg.iter() {
+        if r.name == name {
+            match r.metric {
+                MetricRef::Counter(c) => return c,
+                _ => panic!("metric `{name}` already registered as a non-counter"),
+            }
+        }
+    }
+    let c: &'static Counter = Box::leak(Box::default());
+    reg.push(Registered {
+        name,
+        metric: MetricRef::Counter(c),
+    });
+    c
+}
+
+/// Returns (registering on first use) the gauge named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry();
+    for r in reg.iter() {
+        if r.name == name {
+            match r.metric {
+                MetricRef::Gauge(g) => return g,
+                _ => panic!("metric `{name}` already registered as a non-gauge"),
+            }
+        }
+    }
+    let g: &'static Gauge = Box::leak(Box::default());
+    reg.push(Registered {
+        name,
+        metric: MetricRef::Gauge(g),
+    });
+    g
+}
+
+/// Returns (registering on first use) the histogram named `name`.
+///
+/// # Panics
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry();
+    for r in reg.iter() {
+        if r.name == name {
+            match r.metric {
+                MetricRef::Histogram(h) => return h,
+                _ => panic!("metric `{name}` already registered as a non-histogram"),
+            }
+        }
+    }
+    let h: &'static Histogram = Box::leak(Box::default());
+    reg.push(Registered {
+        name,
+        metric: MetricRef::Histogram(h),
+    });
+    h
+}
+
+/// A point-in-time reading of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// The registered name.
+    pub name: &'static str,
+    /// The reading.
+    pub value: MetricValue,
+}
+
+/// The value part of a [`MetricSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram {
+        /// Sample count.
+        count: u64,
+        /// Sample sum.
+        sum: u64,
+        /// Mean sample.
+        mean: f64,
+        /// ~p99 bucket upper bound.
+        p99: u64,
+    },
+}
+
+/// Snapshots every registered metric, in registration order.
+pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
+    let reg = registry();
+    reg.iter()
+        .map(|r| MetricSnapshot {
+            name: r.name,
+            value: match r.metric {
+                MetricRef::Counter(c) => MetricValue::Counter(c.get()),
+                MetricRef::Gauge(g) => MetricValue::Gauge(g.get()),
+                MetricRef::Histogram(h) => MetricValue::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    mean: h.mean(),
+                    p99: h.quantile(0.99),
+                },
+            },
+        })
+        .collect()
+}
+
+/// Zeroes every registered metric (registrations survive).
+pub fn reset_metrics() {
+    let reg = registry();
+    for r in reg.iter() {
+        match r.metric {
+            MetricRef::Counter(c) => c.reset(),
+            MetricRef::Gauge(g) => g.reset(),
+            MetricRef::Histogram(h) => h.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let c = counter("test.exact");
+        c.reset();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..per_thread {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        crate::set_enabled(false);
+        assert_eq!(c.get(), threads * per_thread);
+        c.reset();
+    }
+
+    #[test]
+    fn gauge_and_histogram_basics() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let g = gauge("test.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+
+        let h = histogram("test.hist");
+        h.reset();
+        for v in [1u64, 2, 3, 1000, 1_000_000] {
+            h.record(v);
+        }
+        crate::set_enabled(false);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1_001_006);
+        assert!(h.mean() > 0.0);
+        assert!(h.quantile(0.5) >= 2);
+        assert!(h.quantile(1.0) >= 1_000_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let a = counter("test.same") as *const Counter;
+        let b = counter("test.same") as *const Counter;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let _ = counter("test.kind-clash");
+        let _ = gauge("test.kind-clash");
+    }
+
+    #[test]
+    fn snapshot_sees_registered_metrics() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        counter("test.snap").add(4);
+        crate::set_enabled(false);
+        let snap = metrics_snapshot();
+        let found = snap.iter().find(|m| m.name == "test.snap").unwrap();
+        assert!(matches!(found.value, MetricValue::Counter(n) if n >= 4));
+    }
+}

@@ -100,6 +100,7 @@ pub fn assign_layers(
     solution: &RoutingSolution,
     cfg: AssignConfig,
 ) -> Result<Assigned3d, PostError> {
+    let _span = dgr_obs::span("post", "assign_layers");
     if design.num_layers < 2 {
         return Err(PostError::TooFewLayers {
             got: design.num_layers,

@@ -61,6 +61,7 @@ pub fn refine(
     solution: &mut RoutingSolution,
     cfg: RefineConfig,
 ) -> Result<RefineReport, PostError> {
+    let _span = dgr_obs::span("post", "refine");
     let grid = &design.grid;
     let cap = &design.capacity;
     let overflowed_before = solution.metrics.overflow.overflowed_edges;

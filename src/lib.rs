@@ -15,6 +15,7 @@
 //! * [`baseline`] — ILP, sequential, soft-capacity and Lagrangian routers
 //! * [`post`] — layer assignment, maze refinement, routing guides
 //! * [`io`] — benchmark generation and design serialization
+//! * [`obs`] — tracing spans, metrics, and training telemetry
 //!
 //! # Examples
 //!
@@ -43,5 +44,6 @@ pub use dgr_core as core;
 pub use dgr_dag as dag;
 pub use dgr_grid as grid;
 pub use dgr_io as io;
+pub use dgr_obs as obs;
 pub use dgr_post as post;
 pub use dgr_rsmt as rsmt;

@@ -4,14 +4,22 @@
 //! dgr generate <case> [--out design.txt]        # emit a catalog design
 //! dgr route <design.txt> [--iterations N] [--seed S]
 //!          [--routes out.txt] [--guide out.guide]
+//!          [--trace out.json] [--telemetry out.jsonl]
+//!          [--progress N] [--quiet]
 //! dgr compare <design.txt> [--iterations N]     # DGR vs all baselines
 //! ```
+//!
+//! `--trace` turns on the `dgr-obs` span registry and writes a Chrome
+//! trace-event file (load it at `chrome://tracing` or in Perfetto);
+//! `--telemetry` streams one JSONL row per training iteration. Either
+//! flag also prints an end-of-run span/metrics summary table.
 
 use std::process::ExitCode;
 
 use dgr::baseline::{LagrangianRouter, SequentialRouter, SprouteRouter};
-use dgr::core::{DgrConfig, DgrRouter};
+use dgr::core::{DgrConfig, DgrRouter, ProgressConfig, RouteHooks};
 use dgr::grid::Design;
+use dgr::obs::TelemetrySink;
 use dgr::post::{assign_layers, refine, AssignConfig, RefineConfig, RouteGuide};
 
 fn main() -> ExitCode {
@@ -59,9 +67,17 @@ fn print_usage() {
     println!("      emit a named catalog design (e.g. ispd18_test1, ispd19_7m)");
     println!("  dgr route <design.txt> [--iterations N] [--seed S]");
     println!("            [--routes out.txt] [--guide out.guide]");
+    println!("            [--trace out.json] [--telemetry out.jsonl]");
+    println!("            [--progress N] [--quiet]");
     println!("      route a design and print metrics");
-    println!("  dgr compare <design.txt> [--iterations N]");
+    println!("  dgr compare <design.txt> [--iterations N] [--trace out.json]");
     println!("      route with DGR and every baseline, print a comparison table");
+    println!();
+    println!("observability:");
+    println!("  --trace out.json      record phase spans, write a Chrome trace-event file");
+    println!("  --telemetry out.jsonl stream one JSONL row per training iteration");
+    println!("  --progress N          progress line every N iterations (default 100)");
+    println!("  --quiet               suppress the progress line");
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -127,11 +143,87 @@ fn config_from(args: &[String]) -> Result<DgrConfig, Box<dyn std::error::Error>>
     Ok(cfg)
 }
 
+/// Parses the shared observability flags: enables the span registry when
+/// `--trace` is given and returns the trace output path.
+fn obs_setup(args: &[String]) -> Option<&str> {
+    let trace = flag_value(args, "--trace");
+    if trace.is_some() {
+        dgr::obs::set_enabled(true);
+    }
+    trace
+}
+
+/// Writes the Chrome trace (if requested) and prints the end-of-run
+/// span/metrics summary table.
+fn obs_finish(trace: Option<&str>) -> CliResult {
+    if !dgr::obs::enabled() {
+        return Ok(());
+    }
+    let totals = dgr::obs::span_totals();
+    if !totals.is_empty() {
+        println!();
+        println!(
+            "{:<16} {:>8} {:>12} {:>12}",
+            "span", "calls", "total (ms)", "mean (µs)"
+        );
+        for t in &totals {
+            println!(
+                "{:<16} {:>8} {:>12.2} {:>12.1}",
+                t.name,
+                t.count,
+                t.total.as_secs_f64() * 1e3,
+                t.mean().as_secs_f64() * 1e6,
+            );
+        }
+    }
+    let metrics = dgr::obs::metrics_snapshot();
+    if !metrics.is_empty() {
+        println!();
+        println!("{:<22} {:>16}", "metric", "value");
+        for m in &metrics {
+            use dgr::obs::MetricValue;
+            match m.value {
+                MetricValue::Counter(v) => println!("{:<22} {:>16}", m.name, v),
+                MetricValue::Gauge(v) => println!("{:<22} {:>16.3}", m.name, v),
+                MetricValue::Histogram {
+                    count, mean, p99, ..
+                } => println!(
+                    "{:<22} {:>16}  (mean {:.0}, p99 ≤ {:.0})",
+                    m.name, count, mean, p99
+                ),
+            }
+        }
+    }
+    if let Some(path) = trace {
+        dgr::obs::write_chrome_trace(path)?;
+        println!();
+        println!("trace → {path} (load at chrome://tracing)");
+    }
+    Ok(())
+}
+
+fn route_hooks(args: &[String]) -> Result<RouteHooks, Box<dyn std::error::Error>> {
+    let mut hooks = RouteHooks::default();
+    if let Some(path) = flag_value(args, "--telemetry") {
+        hooks.telemetry = Some(TelemetrySink::to_path(path)?);
+    }
+    if !args.iter().any(|a| a == "--quiet") {
+        let mut progress = ProgressConfig::default();
+        if let Some(v) = flag_value(args, "--progress") {
+            progress.every = v.parse()?;
+        }
+        hooks.progress = Some(progress);
+    }
+    Ok(hooks)
+}
+
 fn cmd_route(args: &[String]) -> CliResult {
     let design = load_design(args)?;
     let cfg = config_from(args)?;
+    let trace = obs_setup(args);
+    let mut hooks = route_hooks(args)?;
     let t0 = std::time::Instant::now();
-    let mut solution = DgrRouter::new(cfg).route(&design)?;
+    let mut solution = DgrRouter::new(cfg).route_with_hooks(&design, &mut hooks)?;
     let report = refine(&design, &mut solution, RefineConfig::default())?;
     let elapsed = t0.elapsed();
 
@@ -159,12 +251,28 @@ fn cmd_route(args: &[String]) -> CliResult {
         std::fs::write(path, solution.to_text())?;
         println!("  routes checkpoint → {path}");
     }
+    if let Some(report) = &solution.train_report {
+        if let (Some(first), Some(last)) = (report.curve.first(), report.curve.last()) {
+            println!(
+                "  training loss    : {:.2} → {:.2} over {} iterations",
+                first.loss,
+                last.loss,
+                last.iter + 1
+            );
+        }
+    }
+    if let Some(sink) = &hooks.telemetry {
+        let path = flag_value(args, "--telemetry").unwrap_or("?");
+        println!("  telemetry        : {} rows → {path}", sink.rows());
+    }
+    obs_finish(trace)?;
     Ok(())
 }
 
 fn cmd_compare(args: &[String]) -> CliResult {
     let design = load_design(args)?;
     let cfg = config_from(args)?;
+    let trace = obs_setup(args);
     println!(
         "{:<12} {:>10} {:>8} {:>10} {:>10} {:>8}",
         "router", "wirelength", "turns", "ovf edges", "ovf total", "t(s)"
@@ -174,7 +282,7 @@ fn cmd_compare(args: &[String]) -> CliResult {
         dgr::core::RoutingSolution,
         Box<dyn std::error::Error>,
     >|
-     -> CliResult {
+     -> Result<dgr::core::RoutingSolution, Box<dyn std::error::Error>> {
         let t0 = std::time::Instant::now();
         let mut sol = solve()?;
         refine(&design, &mut sol, RefineConfig::default())?;
@@ -189,9 +297,9 @@ fn cmd_compare(args: &[String]) -> CliResult {
             m.overflow.total_overflow,
             t
         );
-        Ok(())
+        Ok(sol)
     };
-    run("dgr", &mut || {
+    let dgr_sol = run("dgr", &mut || {
         Ok(DgrRouter::new(cfg.clone()).route(&design)?)
     })?;
     run("sequential", &mut || {
@@ -203,5 +311,21 @@ fn cmd_compare(args: &[String]) -> CliResult {
     run("lagrangian", &mut || {
         Ok(LagrangianRouter::default().route(&design)?)
     })?;
+    // The retained curve (TrainReport::curve) shows how the DGR loss moved
+    // without re-running or re-deriving anything.
+    if let Some(report) = &dgr_sol.train_report {
+        if let (Some(first), Some(last)) = (report.curve.first(), report.curve.last()) {
+            println!();
+            println!(
+                "dgr training: loss {:.2} → {:.2}, overflow {:.2} → {:.2} ({} curve points)",
+                first.loss,
+                last.loss,
+                first.overflow,
+                last.overflow,
+                report.curve.len()
+            );
+        }
+    }
+    obs_finish(trace)?;
     Ok(())
 }

@@ -1,0 +1,160 @@
+//! Property tests for the Eq. (1) capacity model.
+//!
+//! The builder splits each g-cell's penalty `β·pins + local_nets` evenly
+//! over the cell's incident edges. These properties pin down the
+//! consequences: bounded penalties keep capacity nonnegative, capacity is
+//! monotone in tracks and anti-monotone in pin density / local nets, and
+//! the total subtracted mass equals the total penalty (nothing is lost or
+//! double-counted).
+
+use dgr_grid::{CapacityBuilder, GcellGrid, GcellId, Point};
+use proptest::prelude::*;
+
+fn cell_of(grid: &GcellGrid, index: usize) -> Point {
+    grid.cell_point(GcellId::new((index % grid.num_cells()) as u32))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With no penalties registered, capacity is exactly the track count
+    /// everywhere — trivially nonnegative.
+    #[test]
+    fn no_penalty_capacity_equals_tracks(
+        w in 3u32..9,
+        h in 3u32..9,
+        tracks in 0.0f32..8.0,
+    ) {
+        let grid = GcellGrid::new(w, h).unwrap();
+        let cap = CapacityBuilder::uniform(&grid, tracks).build(&grid).unwrap();
+        for &c in cap.as_slice() {
+            prop_assert_eq!(c, tracks);
+        }
+    }
+
+    /// If every cell's penalty stays at or below the track count, no edge
+    /// goes negative: an edge receives at most `penalty/2` from each of
+    /// its two endpoints (every cell has ≥ 2 incident edges).
+    #[test]
+    fn bounded_penalty_keeps_capacity_nonnegative(
+        w in 3u32..9,
+        h in 3u32..9,
+        tracks in 1u32..6,
+        pins_per_cell in 0u32..3,
+    ) {
+        let grid = GcellGrid::new(w, h).unwrap();
+        let pins_per_cell = pins_per_cell.min(tracks);
+        let mut b = CapacityBuilder::uniform(&grid, tracks as f32);
+        for i in 0..grid.num_cells() {
+            b = b.add_pins(&grid, cell_of(&grid, i), pins_per_cell).unwrap();
+        }
+        let cap = b.build(&grid).unwrap();
+        for (e, &c) in cap.as_slice().iter().enumerate() {
+            prop_assert!(c >= 0.0, "edge {e}: capacity {c} < 0");
+        }
+    }
+
+    /// More tracks never hurt: raising the uniform track count raises
+    /// every edge's capacity by exactly the difference.
+    #[test]
+    fn capacity_is_monotone_in_tracks(
+        w in 3u32..9,
+        h in 3u32..9,
+        tracks in 0u32..5,
+        extra in 1u32..4,
+        cell in 0usize..64,
+        pins in 0u32..4,
+    ) {
+        let grid = GcellGrid::new(w, h).unwrap();
+        let p = cell_of(&grid, cell);
+        let lo = CapacityBuilder::uniform(&grid, tracks as f32)
+            .add_pins(&grid, p, pins).unwrap()
+            .build(&grid).unwrap();
+        let hi = CapacityBuilder::uniform(&grid, (tracks + extra) as f32)
+            .add_pins(&grid, p, pins).unwrap()
+            .build(&grid).unwrap();
+        for (a, b) in lo.as_slice().iter().zip(hi.as_slice()) {
+            prop_assert!(b > a);
+            // the shift is `extra` up to f32 round-off of the shares
+            prop_assert!((b - a - extra as f32).abs() <= 1e-5 * extra as f32);
+        }
+    }
+
+    /// More pins never help: adding pins to any cell weakly decreases
+    /// every edge's capacity, strictly for the incident edges.
+    #[test]
+    fn capacity_is_anti_monotone_in_pins(
+        w in 3u32..9,
+        h in 3u32..9,
+        cell in 0usize..64,
+        pins in 1u32..5,
+    ) {
+        let grid = GcellGrid::new(w, h).unwrap();
+        let p = cell_of(&grid, cell);
+        let before = CapacityBuilder::uniform(&grid, 4.0).build(&grid).unwrap();
+        let after = CapacityBuilder::uniform(&grid, 4.0)
+            .add_pins(&grid, p, pins).unwrap()
+            .build(&grid).unwrap();
+        for (e, (a, b)) in before.as_slice().iter().zip(after.as_slice()).enumerate() {
+            prop_assert!(b <= a, "edge {e} gained capacity from pins");
+        }
+        for e in grid.incident_edges(p) {
+            prop_assert!(after.capacity(e) < before.capacity(e));
+        }
+    }
+
+    /// Same for local nets (the un-weighted term of Eq. 1).
+    #[test]
+    fn capacity_is_anti_monotone_in_local_nets(
+        w in 3u32..9,
+        h in 3u32..9,
+        cell in 0usize..64,
+        locals in 1u32..5,
+    ) {
+        let grid = GcellGrid::new(w, h).unwrap();
+        let p = cell_of(&grid, cell);
+        let before = CapacityBuilder::uniform(&grid, 4.0).build(&grid).unwrap();
+        let after = CapacityBuilder::uniform(&grid, 4.0)
+            .add_local_nets(&grid, p, locals).unwrap()
+            .build(&grid).unwrap();
+        for (a, b) in before.as_slice().iter().zip(after.as_slice()) {
+            prop_assert!(b <= a);
+        }
+        for e in grid.incident_edges(p) {
+            prop_assert!(after.capacity(e) < before.capacity(e));
+        }
+    }
+
+    /// Conservation: the total capacity removed across all edges equals
+    /// the total registered penalty Σ_cells (β·pins + locals) — the even
+    /// split neither loses nor double-counts mass.
+    #[test]
+    fn penalty_mass_is_conserved(
+        w in 3u32..9,
+        h in 3u32..9,
+        cell_a in 0usize..64,
+        cell_b in 0usize..64,
+        pins in 0u32..4,
+        locals in 0u32..4,
+        beta_num in 1u32..5,
+    ) {
+        let grid = GcellGrid::new(w, h).unwrap();
+        let (pa, pb) = (cell_of(&grid, cell_a), cell_of(&grid, cell_b));
+        let beta = beta_num as f32 * 0.5;
+        let cap = CapacityBuilder::uniform(&grid, 8.0)
+            .set_beta(&grid, pa, beta).unwrap()
+            .add_pins(&grid, pa, pins).unwrap()
+            .add_local_nets(&grid, pb, locals).unwrap()
+            .build(&grid).unwrap();
+        let removed: f64 = cap
+            .as_slice()
+            .iter()
+            .map(|&c| (8.0 - c) as f64)
+            .sum();
+        let expected = (beta * pins as f32 + locals as f32) as f64;
+        prop_assert!(
+            (removed - expected).abs() <= 1e-4 * expected.max(1.0),
+            "removed {removed} ≠ total penalty {expected}"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Exhaustive small-instance references.
+//!
+//! Everything here is deliberately the *slow obvious* algorithm: minimum
+//! spanning trees over every bounded Hanan-point subset for RSMT, and a
+//! plain product enumeration of (root layer × per-segment layers) for
+//! layer assignment. The oracle only calls these on instances small
+//! enough that obviousness beats cleverness.
+
+use dgr_grid::{Design, EdgeDir, Point};
+use dgr_post::{AssignConfig, NetTopology};
+
+/// Optimal rectilinear Steiner tree length by brute force: the minimum
+/// MST length over the pins plus every Hanan-grid subset of at most
+/// `k − 2` extra points (no RSMT on `k` pins needs more Steiner points
+/// than that).
+///
+/// # Panics
+///
+/// Panics if `pins` is empty (the Hanan grid is undefined).
+pub fn brute_rsmt_length(pins: &[Point]) -> u64 {
+    let hanan = dgr_rsmt::hanan::HananGrid::new(pins);
+    let extras: Vec<Point> = hanan.points().filter(|p| !pins.contains(p)).collect();
+    let max_extra = pins.len().saturating_sub(2);
+    let mut best = dgr_rsmt::mst::rmst_length(pins);
+    let mut chosen: Vec<Point> = Vec::with_capacity(max_extra);
+    let mut augmented: Vec<Point> = pins.to_vec();
+    for size in 1..=max_extra.min(extras.len()) {
+        for_each_combination(&extras, size, 0, &mut chosen, &mut |subset| {
+            augmented.truncate(pins.len());
+            augmented.extend_from_slice(subset);
+            best = best.min(dgr_rsmt::mst::rmst_length(&augmented));
+        });
+    }
+    best
+}
+
+fn for_each_combination(
+    items: &[Point],
+    size: usize,
+    start: usize,
+    chosen: &mut Vec<Point>,
+    f: &mut impl FnMut(&[Point]),
+) {
+    if chosen.len() == size {
+        f(chosen);
+        return;
+    }
+    let needed = size - chosen.len();
+    for i in start..=items.len().saturating_sub(needed) {
+        chosen.push(items[i]);
+        for_each_combination(items, size, i + 1, chosen, f);
+        chosen.pop();
+    }
+}
+
+/// One fully-explicit layer assignment of a net's spanning tree: the
+/// root layer plus one layer per tree segment.
+#[derive(Debug, Clone)]
+pub struct TreeAssignment {
+    /// Layer of the wire "arriving" at the root node.
+    pub root_layer: u32,
+    /// `seg_layer[si]` for tree segments; `u32::MAX` for cycle closers.
+    pub seg_layer: Vec<u32>,
+}
+
+/// The rooted view of a [`NetTopology`]'s spanning tree, derived by BFS
+/// from node 0 — independent of the DP's DFS traversal order.
+pub struct RootedTree {
+    /// `parent_node[si]`: the endpoint of tree segment `si` closer to
+    /// the root.
+    pub parent_node: Vec<usize>,
+    /// `parent_seg[v]`: the tree segment connecting node `v` to its
+    /// parent (`usize::MAX` at the root).
+    pub parent_seg: Vec<usize>,
+}
+
+impl RootedTree {
+    /// Roots the spanning tree of `topo` at node 0.
+    ///
+    /// Returns `None` if the tree segments do not reach every node
+    /// (never the case for a connected route).
+    pub fn root(topo: &NetTopology) -> Option<RootedTree> {
+        let n = topo.points.len();
+        let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        for (si, &(na, nb, ..)) in topo.segs.iter().enumerate() {
+            if topo.in_tree[si] {
+                adj[na].push((si, nb));
+                adj[nb].push((si, na));
+            }
+        }
+        let mut parent_seg = vec![usize::MAX; n];
+        let mut parent_node = vec![usize::MAX; topo.segs.len()];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        while let Some(v) = queue.pop_front() {
+            for &(si, u) in &adj[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    parent_seg[u] = si;
+                    parent_node[si] = v;
+                    queue.push_back(u);
+                }
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            Some(RootedTree {
+                parent_node,
+                parent_seg,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Independent evaluation of the layer-assignment DP objective for one
+/// explicit assignment:
+///
+/// * marginal overflow of every tree segment on its layer, against the
+///   demand committed by earlier nets,
+/// * `via_weight · |layer(seg) − layer(arriving at its parent node)|`
+///   per tree segment,
+/// * `via_weight · layer(arriving at v)` at every pin node.
+///
+/// Matches the cost the DP in `dgr_post::assign` claims to minimize over
+/// tree segments (cycle closers are out of scope on both sides).
+pub fn eval_assignment(
+    design: &Design,
+    cfg: AssignConfig,
+    topo: &NetTopology,
+    rooted: &RootedTree,
+    pins: &std::collections::HashSet<Point>,
+    layer_demand: &[Vec<f32>],
+    asg: &TreeAssignment,
+) -> f64 {
+    let arriving = |v: usize| -> u32 {
+        if rooted.parent_seg[v] == usize::MAX {
+            asg.root_layer
+        } else {
+            asg.seg_layer[rooted.parent_seg[v]]
+        }
+    };
+    let mut cost = 0.0f64;
+    for (v, p) in topo.points.iter().enumerate() {
+        if pins.contains(p) {
+            cost += cfg.via_weight as f64 * arriving(v) as f64;
+        }
+    }
+    for (si, &(_, _, a, b)) in topo.segs.iter().enumerate() {
+        if !topo.in_tree[si] {
+            continue;
+        }
+        let ls = asg.seg_layer[si];
+        let parent = rooted.parent_node[si];
+        cost += cfg.via_weight as f64 * (ls as f64 - arriving(parent) as f64).abs();
+        cost += seg_overflow_cost(design, cfg, a, b, ls, layer_demand);
+    }
+    cost
+}
+
+/// Marginal overflow cost of placing segment `a`..`b` on `layer`, from
+/// first principles: unit-steps the segment, splits 2D capacity over the
+/// layers of the segment's direction, and charges
+/// `overflow_weight · ((d+1−share)⁺ − (d−share)⁺)` per edge.
+fn seg_overflow_cost(
+    design: &Design,
+    cfg: AssignConfig,
+    a: Point,
+    b: Point,
+    layer: u32,
+    layer_demand: &[Vec<f32>],
+) -> f64 {
+    let grid = &design.grid;
+    let dir = if a.y == b.y {
+        EdgeDir::Horizontal
+    } else {
+        EdgeDir::Vertical
+    };
+    // independent re-derivation of the alternating stack's share count
+    let first_horizontal_dir = if cfg.first_horizontal {
+        EdgeDir::Horizontal
+    } else {
+        EdgeDir::Vertical
+    };
+    let count: u32 = (0..design.num_layers)
+        .filter(|l| {
+            let even = l % 2 == 0;
+            (even && dir == first_horizontal_dir) || (!even && dir != first_horizontal_dir)
+        })
+        .count() as u32;
+    let mut cost = 0.0f64;
+    let mut p = a;
+    while p != b {
+        let step = Point::new(p.x + (b.x - p.x).signum(), p.y + (b.y - p.y).signum());
+        let e = grid.edge_between(p, step).expect("segment in grid");
+        let share = (design.capacity.capacity(e) / count as f32) as f64;
+        let d = layer_demand[layer as usize][e.index()] as f64;
+        cost += cfg.overflow_weight as f64 * ((d + 1.0 - share).max(0.0) - (d - share).max(0.0));
+        p = step;
+    }
+    cost
+}
+
+/// Exhaustively minimizes [`eval_assignment`] over every root layer and
+/// every direction-consistent layer per tree segment. Returns
+/// `None` if the product space exceeds `max_combos`.
+pub fn brute_best_assignment(
+    design: &Design,
+    cfg: AssignConfig,
+    topo: &NetTopology,
+    rooted: &RootedTree,
+    pins: &std::collections::HashSet<Point>,
+    layer_demand: &[Vec<f32>],
+    max_combos: usize,
+) -> Option<f64> {
+    let num_layers = design.num_layers;
+    let tree_segs: Vec<usize> = (0..topo.segs.len())
+        .filter(|&si| topo.in_tree[si])
+        .collect();
+    let layers_for_seg: Vec<Vec<u32>> = tree_segs
+        .iter()
+        .map(|&si| {
+            let (_, _, a, b) = topo.segs[si];
+            let dir = if a.y == b.y {
+                EdgeDir::Horizontal
+            } else {
+                EdgeDir::Vertical
+            };
+            let first_horizontal_dir = if cfg.first_horizontal {
+                EdgeDir::Horizontal
+            } else {
+                EdgeDir::Vertical
+            };
+            (0..num_layers)
+                .filter(|l| {
+                    let even = l % 2 == 0;
+                    (even && dir == first_horizontal_dir) || (!even && dir != first_horizontal_dir)
+                })
+                .collect()
+        })
+        .collect();
+    let mut combos = num_layers as usize;
+    for ls in &layers_for_seg {
+        combos = combos.saturating_mul(ls.len());
+        if combos > max_combos {
+            return None;
+        }
+    }
+
+    let mut best = f64::INFINITY;
+    let mut asg = TreeAssignment {
+        root_layer: 0,
+        seg_layer: vec![u32::MAX; topo.segs.len()],
+    };
+    for root_layer in 0..num_layers {
+        asg.root_layer = root_layer;
+        enumerate_seg_layers(
+            &tree_segs,
+            &layers_for_seg,
+            0,
+            &mut asg,
+            &mut |asg: &TreeAssignment| {
+                let c = eval_assignment(design, cfg, topo, rooted, pins, layer_demand, asg);
+                if c < best {
+                    best = c;
+                }
+            },
+        );
+    }
+    Some(best)
+}
+
+fn enumerate_seg_layers(
+    tree_segs: &[usize],
+    layers_for_seg: &[Vec<u32>],
+    depth: usize,
+    asg: &mut TreeAssignment,
+    f: &mut impl FnMut(&TreeAssignment),
+) {
+    if depth == tree_segs.len() {
+        f(asg);
+        return;
+    }
+    for &l in &layers_for_seg[depth] {
+        asg.seg_layer[tree_segs[depth]] = l;
+        enumerate_seg_layers(tree_segs, layers_for_seg, depth + 1, asg, f);
+    }
+    asg.seg_layer[tree_segs[depth]] = u32::MAX;
+}

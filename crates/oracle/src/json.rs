@@ -1,0 +1,204 @@
+//! Minimal JSON for fuzz case files.
+//!
+//! The workspace vendors only `serde` derive markers (no `serde_json`),
+//! so case files are written and parsed by hand. The supported grammar
+//! is deliberately a subset: one flat object of string keys mapping to
+//! strings, numbers, or booleans — exactly what a [`CaseSpec`] needs.
+
+use crate::gen::{CaseSpec, CheckKind};
+
+/// Serializes a spec (plus a free-form note) as a pretty-printed flat
+/// JSON object.
+pub fn write_case(spec: &CaseSpec, note: &str) -> String {
+    let mut s = String::from("{\n");
+    let mut field = |k: &str, v: String| {
+        s.push_str(&format!("  \"{k}\": {v},\n"));
+    };
+    field("check", format!("\"{}\"", spec.check.name()));
+    field("seed", spec.seed.to_string());
+    field("width", spec.width.to_string());
+    field("height", spec.height.to_string());
+    field("tracks", format!("{:?}", spec.tracks));
+    field("num_nets", spec.num_nets.to_string());
+    field("max_pins", spec.max_pins.to_string());
+    field("num_layers", spec.num_layers.to_string());
+    field("hotspot", spec.hotspot.to_string());
+    field("pin_density", spec.pin_density.to_string());
+    field("ops", spec.ops.to_string());
+    s.push_str(&format!("  \"note\": \"{}\"\n}}\n", escape(note)));
+    s
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => vec![' '],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// One parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+/// Parses a flat JSON object into key/value pairs.
+fn parse_flat_object(text: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = text.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    let parse_string =
+        |chars: &mut std::iter::Peekable<std::str::Chars>| -> Result<String, String> {
+            if chars.next() != Some('"') {
+                return Err("expected '\"'".into());
+            }
+            let mut out = String::new();
+            loop {
+                match chars.next() {
+                    Some('"') => return Ok(out),
+                    Some('\\') => match chars.next() {
+                        Some('n') => out.push('\n'),
+                        Some(c) => out.push(c),
+                        None => return Err("unterminated escape".into()),
+                    },
+                    Some(c) => out.push(c),
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        };
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    let mut pairs = Vec::new();
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                return Ok(pairs);
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key or '}}', found {other:?}")),
+        }
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some('"') => Value::Str(parse_string(&mut chars)?),
+            Some('t') | Some('f') => {
+                let word: String =
+                    std::iter::from_fn(|| chars.next_if(|c| c.is_ascii_alphabetic())).collect();
+                match word.as_str() {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    w => return Err(format!("bad literal {w:?}")),
+                }
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let word: String = std::iter::from_fn(|| {
+                    chars
+                        .next_if(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                })
+                .collect();
+                Value::Num(
+                    word.parse::<f64>()
+                        .map_err(|e| format!("bad number {word:?}: {e}"))?,
+                )
+            }
+            other => return Err(format!("unsupported value start {other:?}")),
+        };
+        pairs.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => return Ok(pairs),
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+}
+
+/// Parses a dumped case file back into a [`CaseSpec`] (the `note` field
+/// is ignored).
+///
+/// # Errors
+///
+/// Returns a description of the first syntax or schema problem.
+pub fn parse_case(text: &str) -> Result<CaseSpec, String> {
+    let pairs = parse_flat_object(text)?;
+    let get = |key: &str| -> Result<&Value, String> {
+        pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        match get(key)? {
+            Value::Num(n) => Ok(*n),
+            v => Err(format!("field {key:?} is not a number: {v:?}")),
+        }
+    };
+    let boolean = |key: &str| -> Result<bool, String> {
+        match get(key)? {
+            Value::Bool(b) => Ok(*b),
+            v => Err(format!("field {key:?} is not a bool: {v:?}")),
+        }
+    };
+    let check = match get("check")? {
+        Value::Str(s) => CheckKind::from_name(s).ok_or_else(|| format!("unknown check {s:?}"))?,
+        v => return Err(format!("field \"check\" is not a string: {v:?}")),
+    };
+    Ok(CaseSpec {
+        check,
+        seed: num("seed")? as u64,
+        width: num("width")? as u32,
+        height: num("height")? as u32,
+        tracks: num("tracks")? as f32,
+        num_nets: num("num_nets")? as usize,
+        max_pins: num("max_pins")? as usize,
+        num_layers: num("num_layers")? as u32,
+        hotspot: boolean("hotspot")?,
+        pin_density: boolean("pin_density")?,
+        ops: num("ops")? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for kind in CheckKind::ALL {
+            for seed in [0u64, 17, 123_456_789] {
+                let spec = CaseSpec::sample(kind, seed);
+                let text = write_case(&spec, "mismatch: details \"quoted\"\nsecond line");
+                let back = parse_case(&text).expect("own output parses");
+                assert_eq!(back, spec);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_case("").is_err());
+        assert!(parse_case("{").is_err());
+        assert!(parse_case("{\"check\": \"nope\"}").is_err());
+        assert!(parse_case("{\"seed\": []}").is_err());
+    }
+}

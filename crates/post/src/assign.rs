@@ -45,6 +45,70 @@ impl Default for AssignConfig {
     }
 }
 
+/// The segment graph of one routed net, exposed so the differential
+/// oracle (`dgr-oracle`) can re-derive the DP's search space
+/// independently.
+#[derive(Debug, Clone)]
+pub struct NetTopology {
+    /// Interned junction points, in first-appearance order.
+    pub points: Vec<Point>,
+    /// `(node_a, node_b, a, b)` per segment, in route order. Segment `i`
+    /// here corresponds to `Net3d::segments[i]`.
+    pub segs: Vec<(usize, usize, Point, Point)>,
+    /// Whether the segment is part of the spanning tree the DP runs on
+    /// (`false` = cycle closer, assigned greedily after the DP).
+    pub in_tree: Vec<bool>,
+}
+
+impl NetTopology {
+    /// Builds the segment graph of `route`: interns corner points as
+    /// nodes, one segment per non-degenerate corner window, and marks a
+    /// union-find spanning tree in segment order.
+    pub fn of_route(route: &dgr_core::NetRoute) -> Self {
+        let mut node_of: HashMap<Point, usize> = HashMap::new();
+        let mut points: Vec<Point> = Vec::new();
+        let mut segs: Vec<(usize, usize, Point, Point)> = Vec::new();
+        let intern = |p: Point, points: &mut Vec<Point>, node_of: &mut HashMap<Point, usize>| {
+            *node_of.entry(p).or_insert_with(|| {
+                points.push(p);
+                points.len() - 1
+            })
+        };
+        for path in &route.paths {
+            for w in path.corners.windows(2) {
+                if w[0] == w[1] {
+                    continue;
+                }
+                let na = intern(w[0], &mut points, &mut node_of);
+                let nb = intern(w[1], &mut points, &mut node_of);
+                segs.push((na, nb, w[0], w[1]));
+            }
+        }
+        let n_nodes = points.len();
+        let mut in_tree = vec![false; segs.len()];
+        let mut parent: Vec<usize> = (0..n_nodes).collect();
+        fn find(p: &mut [usize], mut x: usize) -> usize {
+            while p[x] != x {
+                p[x] = p[p[x]];
+                x = p[x];
+            }
+            x
+        }
+        for (si, &(na, nb, ..)) in segs.iter().enumerate() {
+            let (ra, rb) = (find(&mut parent, na), find(&mut parent, nb));
+            if ra != rb {
+                parent[ra] = rb;
+                in_tree[si] = true;
+            }
+        }
+        NetTopology {
+            points,
+            segs,
+            in_tree,
+        }
+    }
+}
+
 /// A wire segment placed on a layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Segment3d {
@@ -121,8 +185,8 @@ pub fn assign_layers(
         let route = &solution.routes[n];
         let pins: std::collections::HashSet<Point> =
             design.nets[route.net].pins.iter().copied().collect();
-        let net3d = assign_net(design, &model, cfg, route, &pins, &mut layer_demand)?;
-        nets[n] = Some(net3d);
+        let assignment = assign_net(design, &model, cfg, route, &pins, &mut layer_demand)?;
+        nets[n] = Some(assignment.net3d);
     }
     let nets: Vec<Net3d> = nets.into_iter().map(|n| n.expect("assigned")).collect();
 
@@ -171,6 +235,48 @@ pub fn assign_layers(
     })
 }
 
+/// One net's layer assignment, with the DP internals the oracle checks.
+#[derive(Debug, Clone)]
+pub struct NetAssignment {
+    /// The committed 3D realization (segment `i` = `topology.segs[i]`).
+    pub net3d: Net3d,
+    /// The segment graph the DP ran on.
+    pub topology: NetTopology,
+    /// `dp[root][root_layer]`: the optimum the DP claims over tree
+    /// segments and pin-access vias. Cycle closers (assigned greedily
+    /// after the DP) are *not* included.
+    pub dp_cost: f32,
+    /// The root layer chosen by the free minimization at the root node.
+    pub root_layer: u32,
+}
+
+/// Runs the per-net layer-assignment DP against the demand committed in
+/// `layer_demand` (one slice per layer, `grid.num_edges()` long each),
+/// commits the chosen assignment into it, and returns the DP internals.
+///
+/// This is the oracle hook behind [`assign_layers`], which calls it per
+/// net in descending-wirelength order.
+///
+/// # Errors
+///
+/// * [`PostError::TooFewLayers`] if the design has < 2 layers,
+/// * [`PostError::Grid`] if a route leaves the grid.
+pub fn assign_net_dp(
+    design: &Design,
+    cfg: AssignConfig,
+    route: &dgr_core::NetRoute,
+    pins: &std::collections::HashSet<Point>,
+    layer_demand: &mut [Vec<f32>],
+) -> Result<NetAssignment, PostError> {
+    if design.num_layers < 2 {
+        return Err(PostError::TooFewLayers {
+            got: design.num_layers,
+        });
+    }
+    let model = LayerModel::alternating(design.num_layers, cfg.first_horizontal);
+    assign_net(design, &model, cfg, route, pins, layer_demand)
+}
+
 fn assign_net(
     design: &Design,
     model: &LayerModel,
@@ -178,58 +284,33 @@ fn assign_net(
     route: &dgr_core::NetRoute,
     pins: &std::collections::HashSet<Point>,
     layer_demand: &mut [Vec<f32>],
-) -> Result<Net3d, PostError> {
+) -> Result<NetAssignment, PostError> {
     let grid = &design.grid;
 
-    // 1. collect segments and nodes
-    let mut node_of: HashMap<Point, usize> = HashMap::new();
-    let mut points: Vec<Point> = Vec::new();
-    let mut segs: Vec<(usize, usize, Point, Point)> = Vec::new(); // (na, nb, a, b)
-    let intern = |p: Point, points: &mut Vec<Point>, node_of: &mut HashMap<Point, usize>| {
-        *node_of.entry(p).or_insert_with(|| {
-            points.push(p);
-            points.len() - 1
-        })
-    };
-    for path in &route.paths {
-        for w in path.corners.windows(2) {
-            if w[0] == w[1] {
-                continue;
-            }
-            let na = intern(w[0], &mut points, &mut node_of);
-            let nb = intern(w[1], &mut points, &mut node_of);
-            segs.push((na, nb, w[0], w[1]));
-        }
-    }
+    // 1. collect segments and nodes, 2. spanning tree (extras = cycle
+    // closers)
+    let topology = NetTopology::of_route(route);
+    let points = &topology.points;
+    let segs = &topology.segs;
+    let in_tree = &topology.in_tree;
     if segs.is_empty() {
-        return Ok(Net3d {
-            net: route.net,
-            segments: Vec::new(),
-            vias: 0,
+        return Ok(NetAssignment {
+            net3d: Net3d {
+                net: route.net,
+                segments: Vec::new(),
+                vias: 0,
+            },
+            topology,
+            dp_cost: 0.0,
+            root_layer: 0,
         });
     }
-
-    // 2. spanning tree over segments (extras = cycle closers)
     let n_nodes = points.len();
     let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_nodes]; // (seg, other)
-    let mut in_tree = vec![false; segs.len()];
-    {
-        let mut parent: Vec<usize> = (0..n_nodes).collect();
-        fn find(p: &mut [usize], mut x: usize) -> usize {
-            while p[x] != x {
-                p[x] = p[p[x]];
-                x = p[x];
-            }
-            x
-        }
-        for (si, &(na, nb, ..)) in segs.iter().enumerate() {
-            let (ra, rb) = (find(&mut parent, na), find(&mut parent, nb));
-            if ra != rb {
-                parent[ra] = rb;
-                in_tree[si] = true;
-                adj[na].push((si, nb));
-                adj[nb].push((si, na));
-            }
+    for (si, &(na, nb, ..)) in segs.iter().enumerate() {
+        if in_tree[si] {
+            adj[na].push((si, nb));
+            adj[nb].push((si, na));
         }
     }
 
@@ -330,6 +411,7 @@ fn assign_net(
     let root_l = (0..num_layers)
         .min_by(|&a, &b| dp[root][a].total_cmp(&dp[root][b]))
         .expect("≥2 layers") as u32;
+    let dp_cost = dp[root][root_l as usize];
     let mut seg_layer = vec![u32::MAX; segs.len()];
     let mut stack = vec![(root, root_l)];
     while let Some((v, l)) = stack.pop() {
@@ -395,10 +477,15 @@ fn assign_net(
         vias += (*hi - lo) as u64;
     }
 
-    Ok(Net3d {
-        net: route.net,
-        segments,
-        vias,
+    Ok(NetAssignment {
+        net3d: Net3d {
+            net: route.net,
+            segments,
+            vias,
+        },
+        topology,
+        dp_cost,
+        root_layer: root_l,
     })
 }
 

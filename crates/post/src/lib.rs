@@ -22,7 +22,10 @@ pub mod guide;
 pub mod layers;
 pub mod refine;
 
-pub use assign::{assign_layers, AssignConfig, Assigned3d, Net3d, Segment3d};
+pub use assign::{
+    assign_layers, assign_net_dp, AssignConfig, Assigned3d, Net3d, NetAssignment, NetTopology,
+    Segment3d,
+};
 pub use guide::RouteGuide;
 pub use layers::LayerModel;
 pub use refine::{refine, RefineConfig, RefineReport};

@@ -1,0 +1,33 @@
+//! Replays every dumped fuzz reproducer under `tests/fuzz_cases/` as a
+//! regular test.
+//!
+//! When `oracle_fuzz` finds a mismatch it shrinks the case and writes a
+//! JSON file here; committing that file turns the one-off fuzz failure
+//! into a permanent regression test. Cases that have been fixed stay in
+//! the directory as cheap regression coverage.
+
+use std::path::PathBuf;
+
+use dgr_oracle::{load_case, run_case};
+
+#[test]
+fn all_dumped_fuzz_cases_pass() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fuzz_cases");
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/fuzz_cases exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    entries.sort();
+    assert!(
+        !entries.is_empty(),
+        "no case files in {} — at least the seed examples should exist",
+        dir.display()
+    );
+    for path in entries {
+        let spec = load_case(&path).unwrap_or_else(|e| panic!("{e}"));
+        if let Err(m) = run_case(&spec) {
+            panic!("replay of {} failed: {m}", path.display());
+        }
+    }
+}

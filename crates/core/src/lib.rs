@@ -39,23 +39,31 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod attribution;
 pub mod config;
 pub mod extract;
 pub mod memory;
 pub mod relax;
+pub mod snapshot;
 pub mod solution;
 pub mod train;
 
+pub use attribution::{attribute_solution, write_attribution, MAX_ATTRIBUTION_NETS};
 pub use config::{CostWeights, DgrConfig, ExtractionMode};
 pub use extract::extract_solution;
 pub use relax::{build_cost_model, CostModel};
+pub use snapshot::{
+    ensure_header, snapshot_header, write_demand_snapshot, write_dense_snapshot,
+    write_solution_snapshot,
+};
 pub use solution::{NetRoute, RoutePath, RoutingSolution, SolutionMetrics};
 pub use train::{
-    train, train_with_hooks, CurvePoint, ProgressConfig, TrainHooks, TrainReport, CURVE_POINTS,
+    train, train_with_hooks, CurvePoint, ProgressConfig, SnapshotProbe, TrainHooks, TrainReport,
+    CURVE_POINTS,
 };
 
 use dgr_grid::Design;
-use dgr_obs::TelemetrySink;
+use dgr_obs::{SnapshotSink, TelemetrySink};
 
 /// Errors produced by the DGR pipeline.
 #[derive(Debug)]
@@ -110,6 +118,17 @@ impl From<dgr_grid::GridError> for DgrError {
     }
 }
 
+/// Spatial-congestion snapshot capture attached to a routing run.
+#[derive(Debug)]
+pub struct SnapshotConfig {
+    /// Destination snapshot stream (owned; flushed when the run
+    /// completes or the hooks drop).
+    pub sink: SnapshotSink,
+    /// Training-loop capture stride in iterations; `0` captures only the
+    /// extracted solution.
+    pub every: usize,
+}
+
 /// Observability hooks threaded through [`DgrRouter::route_with_hooks`].
 ///
 /// The default hooks are inert — [`DgrRouter::route`] uses them — so the
@@ -119,6 +138,10 @@ pub struct RouteHooks {
     /// Per-iteration JSONL telemetry destination (owned; flushed when the
     /// run completes or the hooks drop).
     pub telemetry: Option<TelemetrySink>,
+    /// Per-g-cell congestion snapshot stream: periodic captures of the
+    /// relaxed expected demand during training, plus one capture of every
+    /// extracted solution (phase `"extract"`).
+    pub snap: Option<SnapshotConfig>,
     /// Throttled stderr progress line during training.
     pub progress: Option<ProgressConfig>,
     /// Skip RSS sampling in telemetry rows (determinism tests set this).
@@ -176,6 +199,9 @@ impl DgrRouter {
         self.config.validate()?;
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
+        if let Some(s) = hooks.snap.as_mut() {
+            snapshot::ensure_header(&mut s.sink, design);
+        }
 
         // 1. per-net tree candidate pools
         let mut pools = Vec::with_capacity(design.nets.len());
@@ -222,6 +248,11 @@ impl DgrRouter {
             }
             let mut train_hooks = TrainHooks {
                 telemetry: hooks.telemetry.as_mut(),
+                snap: hooks.snap.as_mut().map(|s| train::SnapshotProbe {
+                    sink: &mut s.sink,
+                    design,
+                    every: s.every,
+                }),
                 progress: hooks.progress,
                 iter_offset,
                 skip_rss: hooks.skip_rss,
@@ -242,6 +273,16 @@ impl DgrRouter {
                 solution.train_report = Some(report);
                 if let Some(sink) = hooks.telemetry.as_mut() {
                     sink.flush();
+                }
+                if let Some(s) = hooks.snap.as_mut() {
+                    snapshot::write_solution_snapshot(
+                        &mut s.sink,
+                        design,
+                        &solution,
+                        iter_offset as u64,
+                        "extract",
+                    );
+                    s.sink.flush();
                 }
                 solution
             };

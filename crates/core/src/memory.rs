@@ -34,6 +34,21 @@ pub fn memory_snapshot() -> MemorySnapshot {
     snap
 }
 
+/// Current process RSS in bytes, or `None` on platforms where it cannot
+/// be read (no `/proc/self/status` — macOS, Windows).
+///
+/// Telemetry consumers use this instead of [`memory_snapshot`] so
+/// "unmeasurable" is distinguishable from "zero": the JSONL `mem_rss`
+/// field serializes `None` as `null`, never as `0`.
+pub fn rss_bytes() -> Option<u64> {
+    let snap = memory_snapshot();
+    if snap.rss == 0 {
+        None
+    } else {
+        Some(snap.rss)
+    }
+}
+
 fn parse_kb(rest: &str) -> u64 {
     rest.trim()
         .trim_end_matches("kB")
@@ -54,6 +69,15 @@ mod tests {
         if snap.rss > 0 {
             assert!(snap.peak_rss >= snap.rss);
             assert!(snap.rss > 1024 * 1024); // more than 1 MiB resident
+        }
+    }
+
+    #[test]
+    fn rss_bytes_agrees_with_snapshot() {
+        let snap = memory_snapshot();
+        match rss_bytes() {
+            Some(rss) => assert_eq!(rss, snap.rss),
+            None => assert_eq!(snap.rss, 0, "None only when RSS is unreadable"),
         }
     }
 

@@ -12,11 +12,12 @@
 use std::time::{Duration, Instant};
 
 use dgr_autodiff::{gumbel, Adam};
-use dgr_obs::{IterationRow, TelemetrySink};
+use dgr_grid::Design;
+use dgr_obs::{IterationRow, SnapshotSink, TelemetrySink};
 use rand::rngs::StdRng;
 
 use crate::config::DgrConfig;
-use crate::memory::memory_snapshot;
+use crate::memory::rss_bytes;
 use crate::relax::CostModel;
 
 /// Maximum number of [`CurvePoint`]s retained in a [`TrainReport`].
@@ -83,6 +84,19 @@ impl Default for ProgressConfig {
     }
 }
 
+/// Periodic spatial-congestion capture during training: every `every`
+/// iterations (plus the final one) the dense Eq. 10 expected demand is
+/// frozen into a [`SnapshotRecord`](dgr_obs::SnapshotRecord) on `sink`.
+#[derive(Debug)]
+pub struct SnapshotProbe<'a> {
+    /// Destination snapshot stream.
+    pub sink: &'a mut SnapshotSink,
+    /// Grid and capacities the demand is measured against.
+    pub design: &'a Design,
+    /// Capture stride in iterations; `0` disables captures.
+    pub every: usize,
+}
+
 /// Optional instrumentation threaded through [`train_with_hooks`].
 ///
 /// The default hooks are inert: [`train`] forwards to them, so the
@@ -91,13 +105,15 @@ impl Default for ProgressConfig {
 pub struct TrainHooks<'a> {
     /// Per-iteration JSONL telemetry destination.
     pub telemetry: Option<&'a mut TelemetrySink>,
+    /// Periodic spatial congestion snapshots.
+    pub snap: Option<SnapshotProbe<'a>>,
     /// Throttled stderr progress line.
     pub progress: Option<ProgressConfig>,
     /// Added to every reported iteration index, so adaptive rounds
     /// continue numbering instead of restarting at zero.
     pub iter_offset: usize,
-    /// Skip RSS sampling in telemetry rows (`mem_rss` stays 0). RSS is
-    /// inherently nondeterministic; the determinism tests disable it.
+    /// Skip RSS sampling in telemetry rows (`mem_rss` stays `null`). RSS
+    /// is inherently nondeterministic; the determinism tests disable it.
     pub skip_rss: bool,
 }
 
@@ -131,7 +147,7 @@ pub fn train_with_hooks(
     let mut noise_buf_path = vec![0.0f32; model.graph.len_of(model.noise_path)];
     let curve_stride = cfg.iterations.div_ceil(CURVE_POINTS).max(1);
     let mut last_progress: Option<Instant> = None;
-    let mut rss_cache = 0u64;
+    let mut rss_cache: Option<u64> = None;
 
     for it in 0..cfg.iterations {
         let temp = cfg.temperature_at(it);
@@ -167,9 +183,20 @@ pub fn train_with_hooks(
             model.graph.backward(model.loss);
         }
         backward_time += bwd_start.elapsed();
+        if let Some(probe) = hooks.snap.as_mut() {
+            if probe.every > 0 && (it % probe.every == 0 || last_iter) {
+                crate::snapshot::write_dense_snapshot(
+                    probe.sink,
+                    probe.design,
+                    model.graph.value(model.demand),
+                    (hooks.iter_offset + it) as u64,
+                    "train",
+                );
+            }
+        }
         if let Some(sink) = hooks.telemetry.as_deref_mut() {
             if !hooks.skip_rss && (it % RSS_SAMPLE_INTERVAL == 0 || last_iter) {
-                rss_cache = memory_snapshot().rss;
+                rss_cache = rss_bytes();
             }
             let grad_sq: f32 = model
                 .graph
@@ -212,6 +239,9 @@ pub fn train_with_hooks(
 
     if let Some(sink) = hooks.telemetry.as_deref_mut() {
         sink.flush();
+    }
+    if let Some(probe) = hooks.snap.as_mut() {
+        probe.sink.flush();
     }
 
     TrainReport {

@@ -82,6 +82,32 @@ impl JsonObject {
         }
     }
 
+    /// Adds an optional unsigned integer field (`null` when `None`).
+    pub fn field_opt_u64(&mut self, name: &str, v: Option<u64>) {
+        self.key(name);
+        match v {
+            Some(v) => self.buf.push_str(&v.to_string()),
+            None => self.buf.push_str("null"),
+        }
+    }
+
+    /// Adds an `f32` array field (non-finite elements become `null`).
+    pub fn field_f32_array(&mut self, name: &str, vs: &[f32]) {
+        self.key(name);
+        self.buf.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            if v.is_finite() {
+                self.buf.push_str(&format!("{v}"));
+            } else {
+                self.buf.push_str("null");
+            }
+        }
+        self.buf.push(']');
+    }
+
     /// Adds a string field.
     pub fn field_str(&mut self, name: &str, v: &str) {
         self.key(name);
@@ -130,5 +156,18 @@ mod tests {
     #[test]
     fn empty_object() {
         assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn optional_and_array_fields() {
+        let mut o = JsonObject::new();
+        o.field_opt_u64("some", Some(9));
+        o.field_opt_u64("none", None);
+        o.field_f32_array("xs", &[1.0, 0.5, f32::INFINITY]);
+        o.field_f32_array("empty", &[]);
+        assert_eq!(
+            o.finish(),
+            r#"{"some":9,"none":null,"xs":[1,0.5,null],"empty":[]}"#
+        );
     }
 }

@@ -13,7 +13,13 @@
 //!   hot-path recording is a single relaxed atomic op,
 //! * [`TelemetrySink`] — a per-iteration training telemetry sink emitting
 //!   JSONL rows (`{iter, loss, wl, vias, overflow, temperature,
-//!   grad_norm, mem_rss}`).
+//!   grad_norm, mem_rss}`),
+//! * [`SnapshotSink`] — a spatial congestion-snapshot stream (per-edge
+//!   demand/overflow grids plus per-net attribution records) captured at
+//!   iteration strides,
+//! * [`render_report`] — the deterministic self-contained HTML
+//!   post-mortem renderer behind `dgr report`, fed by [`parse`], a
+//!   minimal JSON reader for the files the crate itself writes.
 //!
 //! # Overhead contract
 //!
@@ -45,12 +51,21 @@
 
 pub mod json;
 pub mod metrics;
+pub mod parse;
+pub mod report;
+pub mod snapshot;
 pub mod span;
 pub mod telemetry;
+
+mod sink;
 
 pub use metrics::{
     counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
     MetricSnapshot, MetricValue,
+};
+pub use report::{render_report, ReportInputs};
+pub use snapshot::{
+    AttributionRecord, NetShare, SnapshotHeader, SnapshotRecord, SnapshotSink, SnapshotStream,
 };
 pub use span::{
     chrome_trace, reset_spans, span, span_totals, write_chrome_trace, SpanGuard, SpanTotal,

@@ -72,8 +72,9 @@ impl Gauge {
 pub const HIST_BUCKETS: usize = 64;
 
 /// A log₂-bucketed histogram of `u64` samples (e.g. nanosecond
-/// durations). Bucket `i` holds values in `[2^(i-1), 2^i)`; bucket 0
-/// holds zero and one.
+/// durations). Bucket `i ≥ 1` holds values in `[2^(i-1), 2^i)` — so
+/// bucket 1 holds exactly the value 1 — and bucket 0 holds only zero,
+/// the one value below the first log₂ boundary.
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; HIST_BUCKETS],
@@ -349,6 +350,59 @@ mod tests {
         assert!(h.quantile(1.0) >= 1_000_000);
         h.reset();
         assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let _guard = crate::test_lock();
+        let h = histogram("test.hist-empty");
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty histogram has no quantile {q}");
+        }
+    }
+
+    #[test]
+    fn single_bucket_saturation_pins_every_quantile() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let h = histogram("test.hist-saturated");
+        h.reset();
+        // 5 ∈ [4, 8) → bucket 3 for every sample
+        for _ in 0..10_000 {
+            h.record(5);
+        }
+        crate::set_enabled(false);
+        assert_eq!(h.count(), 10_000);
+        assert_eq!(h.mean(), 5.0);
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 8, "all mass in one bucket → its bound");
+        }
+        h.reset();
+    }
+
+    #[test]
+    fn values_below_first_log2_boundary_land_in_bucket_zero() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let h = histogram("test.hist-below");
+        h.reset();
+        // zero is the only value below the first boundary (2^0 = 1);
+        // one already belongs to bucket 1
+        h.record(0);
+        h.record(0);
+        h.record(1);
+        crate::set_enabled(false);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1);
+        // two of three samples sit in bucket 0, whose upper bound is 2^0
+        assert_eq!(h.quantile(0.5), 1);
+        // the value 1 sits strictly above, in bucket 1 (bound 2^1)
+        assert_eq!(h.quantile(1.0), 2);
+        h.reset();
     }
 
     #[test]

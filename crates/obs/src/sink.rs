@@ -1,0 +1,69 @@
+//! Shared line-oriented output plumbing for the JSONL sinks.
+//!
+//! [`TelemetrySink`](crate::TelemetrySink) and
+//! [`SnapshotSink`](crate::SnapshotSink) both write newline-delimited JSON
+//! to either a buffered file or an in-memory buffer; this module holds the
+//! destination they share. I/O errors after creation are deliberately
+//! swallowed — observability output must never abort a routing run.
+
+use std::io::Write;
+
+/// A line destination: buffered file or in-memory byte buffer.
+pub(crate) enum LineOut {
+    /// Buffered file output.
+    File(std::io::BufWriter<std::fs::File>),
+    /// In-memory accumulation (tests, determinism checks).
+    Memory(Vec<u8>),
+}
+
+impl LineOut {
+    /// Creates (truncating) a file destination at `path`.
+    pub(crate) fn to_path(path: &str) -> std::io::Result<Self> {
+        Ok(LineOut::File(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+
+    /// Creates an in-memory destination.
+    pub(crate) fn in_memory() -> Self {
+        LineOut::Memory(Vec::new())
+    }
+
+    /// Short kind tag for `Debug` impls.
+    pub(crate) fn kind(&self) -> &'static str {
+        match self {
+            LineOut::File(_) => "file",
+            LineOut::Memory(_) => "memory",
+        }
+    }
+
+    /// Appends `line` plus a trailing newline. Errors are swallowed.
+    pub(crate) fn write_line(&mut self, line: &str) {
+        match self {
+            LineOut::File(w) => {
+                let _ = w.write_all(line.as_bytes());
+                let _ = w.write_all(b"\n");
+            }
+            LineOut::Memory(buf) => {
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+            }
+        }
+    }
+
+    /// Flushes buffered output (no-op for memory destinations).
+    pub(crate) fn flush(&mut self) {
+        if let LineOut::File(w) = self {
+            let _ = w.flush();
+        }
+    }
+
+    /// The accumulated text of an in-memory destination (`None` for
+    /// files).
+    pub(crate) fn memory_contents(&self) -> Option<&str> {
+        match self {
+            LineOut::Memory(buf) => std::str::from_utf8(buf).ok(),
+            LineOut::File(_) => None,
+        }
+    }
+}

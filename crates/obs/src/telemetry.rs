@@ -13,13 +13,15 @@
 //! `wl`, `vias` and `overflow` are the three *unweighted* cost terms of
 //! Eq. (3) as evaluated on that iteration's forward pass, `grad_norm` is
 //! the L2 norm of the logit gradients, and `mem_rss` is the process
-//! resident set in bytes (0 when RSS sampling is off or unavailable).
-//! Rows written with RSS sampling disabled are byte-deterministic for a
-//! fixed seed and thread count — the determinism tests rely on this.
-
-use std::io::Write;
+//! resident set in bytes. `mem_rss` is `null` — not `0` — whenever RSS is
+//! unavailable: on hosts without `/proc/self/status` (macOS, Windows),
+//! when sampling is disabled for determinism, or on iterations between
+//! sample points before the first sample. Rows written with RSS sampling
+//! disabled are byte-deterministic for a fixed seed and thread count —
+//! the determinism tests rely on this.
 
 use crate::json::JsonObject;
+use crate::sink::LineOut;
 
 /// One training iteration's telemetry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,8 +40,9 @@ pub struct IterationRow {
     pub temperature: f32,
     /// L2 norm of the tree+path logit gradients.
     pub grad_norm: f32,
-    /// Process resident set size in bytes (0 = not sampled).
-    pub mem_rss: u64,
+    /// Process resident set size in bytes; `None` (serialized as JSON
+    /// `null`) when the platform cannot report RSS or sampling is off.
+    pub mem_rss: Option<u64>,
 }
 
 impl IterationRow {
@@ -53,7 +56,7 @@ impl IterationRow {
         o.field_f32("overflow", self.overflow);
         o.field_f32("temperature", self.temperature);
         o.field_f32("grad_norm", self.grad_norm);
-        o.field_u64("mem_rss", self.mem_rss);
+        o.field_opt_u64("mem_rss", self.mem_rss);
         o.finish()
     }
 
@@ -70,14 +73,9 @@ impl IterationRow {
     ];
 }
 
-enum SinkOut {
-    File(std::io::BufWriter<std::fs::File>),
-    Memory(Vec<u8>),
-}
-
 /// A JSONL telemetry destination (file or in-memory buffer).
 pub struct TelemetrySink {
-    out: SinkOut,
+    out: LineOut,
     rows: usize,
 }
 
@@ -85,13 +83,7 @@ impl std::fmt::Debug for TelemetrySink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TelemetrySink")
             .field("rows", &self.rows)
-            .field(
-                "kind",
-                &match self.out {
-                    SinkOut::File(_) => "file",
-                    SinkOut::Memory(_) => "memory",
-                },
-            )
+            .field("kind", &self.out.kind())
             .finish()
     }
 }
@@ -104,7 +96,7 @@ impl TelemetrySink {
     /// Propagates the file-creation error.
     pub fn to_path(path: &str) -> std::io::Result<Self> {
         Ok(TelemetrySink {
-            out: SinkOut::File(std::io::BufWriter::new(std::fs::File::create(path)?)),
+            out: LineOut::to_path(path)?,
             rows: 0,
         })
     }
@@ -112,7 +104,7 @@ impl TelemetrySink {
     /// Creates an in-memory sink (tests, determinism checks).
     pub fn in_memory() -> Self {
         TelemetrySink {
-            out: SinkOut::Memory(Vec::new()),
+            out: LineOut::in_memory(),
             rows: 0,
         }
     }
@@ -121,18 +113,8 @@ impl TelemetrySink {
     /// swallowed after the sink is created — telemetry must never abort a
     /// training run.
     pub fn record(&mut self, row: &IterationRow) {
-        let line = row.to_json();
         self.rows += 1;
-        match &mut self.out {
-            SinkOut::File(w) => {
-                let _ = w.write_all(line.as_bytes());
-                let _ = w.write_all(b"\n");
-            }
-            SinkOut::Memory(buf) => {
-                buf.extend_from_slice(line.as_bytes());
-                buf.push(b'\n');
-            }
-        }
+        self.out.write_line(&row.to_json());
     }
 
     /// Rows recorded so far.
@@ -142,18 +124,13 @@ impl TelemetrySink {
 
     /// Flushes buffered output (no-op for memory sinks).
     pub fn flush(&mut self) {
-        if let SinkOut::File(w) = &mut self.out {
-            let _ = w.flush();
-        }
+        self.out.flush();
     }
 
     /// The accumulated JSONL text of an in-memory sink (`None` for file
     /// sinks).
     pub fn memory_contents(&self) -> Option<&str> {
-        match &self.out {
-            SinkOut::Memory(buf) => std::str::from_utf8(buf).ok(),
-            SinkOut::File(_) => None,
-        }
+        self.out.memory_contents()
     }
 }
 
@@ -176,7 +153,7 @@ mod tests {
             overflow: 0.25,
             temperature: 1.0,
             grad_norm: 3.5,
-            mem_rss: 4096,
+            mem_rss: Some(4096),
         }
     }
 
@@ -193,6 +170,13 @@ mod tests {
             json,
             r#"{"iter":7,"loss":10.5,"wl":8,"vias":2,"overflow":0.25,"temperature":1,"grad_norm":3.5,"mem_rss":4096}"#
         );
+    }
+
+    #[test]
+    fn unsampled_rss_serializes_as_null() {
+        let mut r = row(0);
+        r.mem_rss = None;
+        assert!(r.to_json().ends_with("\"mem_rss\":null}"));
     }
 
     #[test]

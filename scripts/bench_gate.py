@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI bench regression gate.
+
+Compares a fresh ``bench_train`` run against the committed baseline
+(``BENCH_train.json``) and fails when training throughput regressed by
+more than the allowed fraction:
+
+    bench_gate.py BENCH_train.json /tmp/bench_fresh.json [--max-regression 0.15]
+
+The verdict (baseline vs fresh iterations/second and the delta) is
+printed to stdout and, when ``$GITHUB_STEP_SUMMARY`` is set, appended
+there as a markdown table row. Speedups and small regressions pass; only
+``iters_per_sec`` gates — the per-phase means are reported for context
+but are too noisy on shared runners to fail on.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_gate: cannot read {path}: {e}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed BENCH_train.json")
+    ap.add_argument("fresh", help="freshly generated bench report")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="allowed fractional iters_per_sec drop (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    base_ips = float(base["iters_per_sec"])
+    fresh_ips = float(fresh["iters_per_sec"])
+    if base_ips <= 0:
+        sys.exit("bench_gate: baseline iters_per_sec must be positive")
+
+    delta = fresh_ips / base_ips - 1.0
+    ok = delta >= -args.max_regression
+    verdict = "ok" if ok else f"FAIL (> {args.max_regression:.0%} regression)"
+
+    print(
+        f"bench_gate: baseline {base_ips:.1f} it/s -> fresh {fresh_ips:.1f} it/s "
+        f"({delta:+.1%}) ... {verdict}"
+    )
+    for key in ("forward_ms", "backward_ms"):
+        if key in base and key in fresh:
+            print(f"  {key}: {float(base[key]):.3f} -> {float(fresh[key]):.3f} ms")
+
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as fh:
+            fh.write(
+                "| bench_train | baseline | fresh | delta | verdict |\n"
+                "|---|---|---|---|---|\n"
+                f"| iters/sec | {base_ips:.1f} | {fresh_ips:.1f} "
+                f"| {delta:+.1%} | {verdict} |\n"
+            )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,21 +5,28 @@
 //! dgr route <design.txt> [--iterations N] [--seed S]
 //!          [--routes out.txt] [--guide out.guide]
 //!          [--trace out.json] [--telemetry out.jsonl]
+//!          [--snap out.snaps] [--snap-every N]
 //!          [--progress N] [--quiet]
 //! dgr compare <design.txt> [--iterations N]     # DGR vs all baselines
+//! dgr report [--telemetry in.jsonl] [--snap in.snaps] [--trace in.json]
+//!            [--title NAME] [--out report.html]
 //! ```
 //!
 //! `--trace` turns on the `dgr-obs` span registry and writes a Chrome
 //! trace-event file (load it at `chrome://tracing` or in Perfetto);
-//! `--telemetry` streams one JSONL row per training iteration. Either
-//! flag also prints an end-of-run span/metrics summary table.
+//! `--telemetry` streams one JSONL row per training iteration; `--snap`
+//! streams per-g-cell congestion snapshots plus the per-net overflow
+//! attribution. `dgr report` renders those artifacts into one
+//! self-contained HTML post-mortem.
 
 use std::process::ExitCode;
 
 use dgr::baseline::{LagrangianRouter, SequentialRouter, SprouteRouter};
-use dgr::core::{DgrConfig, DgrRouter, ProgressConfig, RouteHooks};
+use dgr::core::{
+    write_attribution, DgrConfig, DgrRouter, ProgressConfig, RouteHooks, SnapshotConfig,
+};
 use dgr::grid::Design;
-use dgr::obs::TelemetrySink;
+use dgr::obs::{render_report, ReportInputs, SnapshotSink, TelemetrySink};
 use dgr::post::{assign_layers, refine, AssignConfig, RefineConfig, RouteGuide};
 
 fn main() -> ExitCode {
@@ -42,6 +49,7 @@ fn main() -> ExitCode {
         Some("generate") => cmd_generate(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -68,14 +76,20 @@ fn print_usage() {
     println!("  dgr route <design.txt> [--iterations N] [--seed S]");
     println!("            [--routes out.txt] [--guide out.guide]");
     println!("            [--trace out.json] [--telemetry out.jsonl]");
+    println!("            [--snap out.snaps] [--snap-every N]");
     println!("            [--progress N] [--quiet]");
     println!("      route a design and print metrics");
     println!("  dgr compare <design.txt> [--iterations N] [--trace out.json]");
     println!("      route with DGR and every baseline, print a comparison table");
+    println!("  dgr report [--telemetry in.jsonl] [--snap in.snaps] [--trace in.json]");
+    println!("             [--title NAME] [--out report.html]");
+    println!("      render routing-run artifacts into a self-contained HTML post-mortem");
     println!();
     println!("observability:");
     println!("  --trace out.json      record phase spans, write a Chrome trace-event file");
     println!("  --telemetry out.jsonl stream one JSONL row per training iteration");
+    println!("  --snap out.snaps      stream per-g-cell congestion snapshots + attribution");
+    println!("  --snap-every N        training snapshot stride (default: iterations/16)");
     println!("  --progress N          progress line every N iterations (default 100)");
     println!("  --quiet               suppress the progress line");
 }
@@ -202,10 +216,23 @@ fn obs_finish(trace: Option<&str>) -> CliResult {
     Ok(())
 }
 
-fn route_hooks(args: &[String]) -> Result<RouteHooks, Box<dyn std::error::Error>> {
+fn route_hooks(
+    args: &[String],
+    iterations: usize,
+) -> Result<RouteHooks, Box<dyn std::error::Error>> {
     let mut hooks = RouteHooks::default();
     if let Some(path) = flag_value(args, "--telemetry") {
         hooks.telemetry = Some(TelemetrySink::to_path(path)?);
+    }
+    if let Some(path) = flag_value(args, "--snap") {
+        let every = match flag_value(args, "--snap-every") {
+            Some(v) => v.parse()?,
+            None => (iterations / 16).max(1),
+        };
+        hooks.snap = Some(SnapshotConfig {
+            sink: SnapshotSink::to_path(path)?,
+            every,
+        });
     }
     if !args.iter().any(|a| a == "--quiet") {
         let mut progress = ProgressConfig::default();
@@ -221,11 +248,29 @@ fn cmd_route(args: &[String]) -> CliResult {
     let design = load_design(args)?;
     let cfg = config_from(args)?;
     let trace = obs_setup(args);
-    let mut hooks = route_hooks(args)?;
+    let mut hooks = route_hooks(args, cfg.iterations)?;
+    let weights = cfg.weights;
     let t0 = std::time::Instant::now();
     let mut solution = DgrRouter::new(cfg).route_with_hooks(&design, &mut hooks)?;
     let report = refine(&design, &mut solution, RefineConfig::default())?;
     let elapsed = t0.elapsed();
+    if let Some(snap) = hooks.snap.as_mut() {
+        // post-refinement congestion plus the final offender attribution
+        let final_iter = solution
+            .train_report
+            .as_ref()
+            .and_then(|r| r.curve.last())
+            .map_or(0, |p| p.iter as u64 + 1);
+        dgr::core::write_solution_snapshot(
+            &mut snap.sink,
+            &design,
+            &solution,
+            final_iter,
+            "refine",
+        );
+        write_attribution(&mut snap.sink, &design, &solution, &weights, "final");
+        snap.sink.flush();
+    }
 
     let m = &solution.metrics;
     println!("routed {} nets in {elapsed:.2?}", design.num_nets());
@@ -265,7 +310,37 @@ fn cmd_route(args: &[String]) -> CliResult {
         let path = flag_value(args, "--telemetry").unwrap_or("?");
         println!("  telemetry        : {} rows → {path}", sink.rows());
     }
+    if let Some(snap) = &hooks.snap {
+        let path = flag_value(args, "--snap").unwrap_or("?");
+        println!("  snapshots        : {} → {path}", snap.sink.snapshots());
+    }
     obs_finish(trace)?;
+    Ok(())
+}
+
+/// `dgr report`: render telemetry / snapshot / trace artifacts into one
+/// deterministic, self-contained HTML post-mortem.
+fn cmd_report(args: &[String]) -> CliResult {
+    let read_opt = |flag: &str| -> Result<Option<String>, std::io::Error> {
+        flag_value(args, flag)
+            .map(std::fs::read_to_string)
+            .transpose()
+    };
+    let inputs = ReportInputs {
+        title: flag_value(args, "--title")
+            .unwrap_or("routing run")
+            .to_string(),
+        telemetry: read_opt("--telemetry")?,
+        snapshots: read_opt("--snap")?,
+        trace: read_opt("--trace")?,
+    };
+    if inputs.telemetry.is_none() && inputs.snapshots.is_none() && inputs.trace.is_none() {
+        return Err("report needs at least one of --telemetry / --snap / --trace".into());
+    }
+    let html = render_report(&inputs)?;
+    let out = flag_value(args, "--out").unwrap_or("report.html");
+    std::fs::write(out, &html)?;
+    println!("report → {out} ({} bytes)", html.len());
     Ok(())
 }
 

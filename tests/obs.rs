@@ -56,6 +56,9 @@ fn telemetry_jsonl_is_deterministic_for_fixed_seed() {
     let b = route_telemetry(&design, &cfg);
     assert!(!a.is_empty());
     assert_eq!(a, b, "telemetry diverged between identical runs");
+    // skip_rss means unmeasured, which serializes as null — never 0
+    assert!(a.contains("\"mem_rss\":null"), "skipped RSS must be null");
+    assert!(!a.contains("\"mem_rss\":0"), "mem_rss must never be 0");
 }
 
 #[test]

@@ -391,6 +391,48 @@ where
     });
 }
 
+/// Runs `f(i)` for every `i in 0..n` on the pool and collects the results
+/// **in index order** — the task fan-out primitive behind the route
+/// pipeline's front end (candidate generation, forest build, extraction
+/// scans).
+///
+/// Unlike the dense kernels, items here are heterogeneous tasks (a 2-pin
+/// net next to a 9-pin Steiner problem), so the index space is split into
+/// roughly four chunks per thread and claimed by work stealing. Every
+/// result lands in its own output slot, so — like the pure maps — the
+/// returned vector is **bit-identical for any thread count**; no
+/// reduction is involved. Falls back to a sequential map below `min_par`
+/// items, when one thread is configured, or under the legacy spawn
+/// executor.
+pub fn par_indexed<T, F>(n: usize, min_par: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = num_threads();
+    if n < min_par || threads <= 1 || exec_mode() == ExecMode::Spawn {
+        pool_metrics().seq_fallbacks.add(1);
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let chunks = n.div_ceil(chunk);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let base = SendPtr(out.as_mut_ptr());
+    run_chunks(chunks, &move |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        for i in lo..hi {
+            // SAFETY: chunks cover disjoint index ranges of `out`, which
+            // outlives the dispatch; slot i is written exactly once.
+            unsafe { *base.get().add(i) = Some(f(i)) };
+        }
+    });
+    out.into_iter()
+        .map(|v| v.expect("every chunk completed"))
+        .collect()
+}
+
 /// The pre-pool executor: a scoped spawn per chunk, per op. Benchmark
 /// baseline only.
 fn spawn_map_mut<F>(out: &mut [f32], f: &F, threads: usize)
@@ -697,6 +739,24 @@ mod tests {
         for (i, d) in dst.iter().enumerate() {
             assert_eq!(*d, 1.0 + 0.5 * i as f32);
         }
+    }
+
+    #[test]
+    fn par_indexed_is_index_ordered_and_thread_count_invariant() {
+        let n = 10_000;
+        let expect: Vec<Vec<u64>> = (0..n).map(|i| vec![i as u64, (i * i) as u64]).collect();
+        for threads in [1, 2, 8] {
+            set_num_threads(threads);
+            let got = par_indexed(n, 1, |i| vec![i as u64, (i * i) as u64]);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+        set_num_threads(0);
+    }
+
+    #[test]
+    fn par_indexed_respects_min_par_and_empty() {
+        assert!(par_indexed(0, 1, |i| i).is_empty());
+        assert_eq!(par_indexed(5, 100, |i| i * 3), vec![0, 3, 6, 9, 12]);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! End-to-end `route` pipeline benchmark: wall-clock of the full
+//! candidates → forest → relax/train → extract pipeline with the
+//! parallel front end and canonical Steiner cache, against the serial
+//! uncached path, and writes `BENCH_pipeline.json`.
+//!
+//! Usage: `bench_pipeline [--fast]`. Environment overrides:
+//! `DGR_BENCH_NETS` (default 4000), `DGR_BENCH_ITERS` (default 60),
+//! `DGR_BENCH_THREADS` (default 4), `DGR_BENCH_RUNS` (best-of, default
+//! 2), `DGR_BENCH_OUT` (default `BENCH_pipeline.json`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dgr_autodiff::parallel;
+use dgr_core::{DgrConfig, DgrRouter};
+use dgr_io::{IspdLikeConfig, IspdLikeGenerator};
+
+/// Per-phase total milliseconds for one `route` call, sourced from the
+/// `dgr-obs` span registry (`route` category spans).
+struct Phases {
+    candidates_ms: f64,
+    forest_ms: f64,
+    relax_ms: f64,
+    extract_ms: f64,
+}
+
+fn phases_from_spans() -> Phases {
+    let total_ms = |name: &str| {
+        dgr_obs::span_totals()
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.total.as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    };
+    Phases {
+        candidates_ms: total_ms("candidates"),
+        forest_ms: total_ms("forest"),
+        relax_ms: total_ms("relax"),
+        extract_ms: total_ms("extract"),
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Measurement {
+    wall_ms: f64,
+    phases: Phases,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl Measurement {
+    fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Routes `design` `runs` times and keeps the fastest run (standard
+/// bench practice: the minimum is the least-noise estimate on a shared
+/// host). Spans and cache counters come from the kept run.
+fn measure_best(
+    design: &dgr_grid::Design,
+    cfg: &DgrConfig,
+    threads: usize,
+    runs: usize,
+) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..runs.max(1) {
+        let m = measure(design, cfg, threads);
+        if best.as_ref().is_none_or(|b| m.wall_ms < b.wall_ms) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one run")
+}
+
+/// Routes `design` once and reports wall-clock, per-phase span totals,
+/// and canonical-cache traffic. Observability is enabled only for the
+/// duration of the call so counters and spans cover exactly one run.
+fn measure(design: &dgr_grid::Design, cfg: &DgrConfig, threads: usize) -> Measurement {
+    parallel::set_num_threads(threads);
+    dgr_obs::reset();
+    dgr_obs::set_enabled(true);
+    let start = Instant::now();
+    let solution = DgrRouter::new(cfg.clone()).route(design).expect("route");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    dgr_obs::set_enabled(false);
+    assert_eq!(solution.routes.len(), design.num_nets());
+    Measurement {
+        wall_ms,
+        phases: phases_from_spans(),
+        cache_hits: dgr_obs::counter("rsmt.cache.hits").get(),
+        cache_misses: dgr_obs::counter("rsmt.cache.misses").get(),
+    }
+}
+
+fn phase_json(p: &Phases) -> String {
+    format!(
+        "{{ \"candidates_ms\": {:.4}, \"forest_ms\": {:.4}, \"relax_ms\": {:.4}, \"extract_ms\": {:.4} }}",
+        p.candidates_ms, p.forest_ms, p.relax_ms, p.extract_ms
+    )
+}
+
+fn main() {
+    let fast = dgr_bench::fast_flag();
+    let nets = env_usize("DGR_BENCH_NETS", if fast { 1000 } else { 4000 });
+    let iters = env_usize("DGR_BENCH_ITERS", if fast { 20 } else { 60 });
+    let threads = env_usize("DGR_BENCH_THREADS", 4);
+    let runs = env_usize("DGR_BENCH_RUNS", 2);
+    let out_path =
+        std::env::var("DGR_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_string());
+    let side = ((nets as f64).sqrt() * 1.5).round() as u32;
+    let design = IspdLikeGenerator::new(IspdLikeConfig {
+        width: side.max(32),
+        height: side.max(32),
+        num_nets: nets,
+        ..IspdLikeConfig::default()
+    })
+    .generate()
+    .expect("valid config");
+    let cfg = DgrConfig {
+        iterations: iters,
+        ..DgrConfig::default()
+    };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "bench_pipeline: {nets} nets, {iters} iters, {threads} threads ({host_cpus} host cpus)"
+    );
+
+    // Untimed warm-up: spawns the worker pool and touches every lazy
+    // allocation so neither measured run pays one-time init costs.
+    {
+        let warm_cfg = DgrConfig {
+            iterations: 2,
+            ..cfg.clone()
+        };
+        parallel::set_num_threads(threads);
+        DgrRouter::new(warm_cfg).route(&design).expect("route");
+    }
+
+    // Serial seed path: one thread, canonical cache off — the pipeline
+    // exactly as it ran before the parallel front end existed.
+    let serial_cfg = DgrConfig {
+        use_rsmt_cache: false,
+        ..cfg.clone()
+    };
+    let serial = measure_best(&design, &serial_cfg, 1, runs);
+    println!(
+        "  serial   (1 thread, cache off): {:9.1} ms  (cand {:.1}, forest {:.1}, relax {:.1}, extract {:.1})",
+        serial.wall_ms,
+        serial.phases.candidates_ms,
+        serial.phases.forest_ms,
+        serial.phases.relax_ms,
+        serial.phases.extract_ms
+    );
+
+    let par = measure_best(&design, &cfg, threads, runs);
+    let speedup = serial.wall_ms / par.wall_ms;
+    println!(
+        "  parallel ({threads} threads, cache on): {:9.1} ms  (cand {:.1}, forest {:.1}, relax {:.1}, extract {:.1})",
+        par.wall_ms,
+        par.phases.candidates_ms,
+        par.phases.forest_ms,
+        par.phases.relax_ms,
+        par.phases.extract_ms
+    );
+    println!(
+        "  speedup: {speedup:.2}x  cache: {} hits / {} misses ({:.1}% hit rate)",
+        par.cache_hits,
+        par.cache_misses,
+        par.hit_rate() * 100.0
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"nets\": {nets},");
+    let _ = writeln!(json, "  \"iterations\": {iters},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"route_wall_ms\": {:.2},", par.wall_ms);
+    let _ = writeln!(json, "  \"serial_wall_ms\": {:.2},", serial.wall_ms);
+    let _ = writeln!(json, "  \"speedup_vs_serial\": {speedup:.3},");
+    let _ = writeln!(json, "  \"cache_hits\": {},", par.cache_hits);
+    let _ = writeln!(json, "  \"cache_misses\": {},", par.cache_misses);
+    let _ = writeln!(json, "  \"cache_hit_rate\": {:.4},", par.hit_rate());
+    let _ = writeln!(json, "  \"phases\": {},", phase_json(&par.phases));
+    let _ = writeln!(json, "  \"serial_phases\": {}", phase_json(&serial.phases));
+    let _ = writeln!(json, "}}");
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    println!("wrote {out_path}");
+}

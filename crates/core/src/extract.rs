@@ -8,13 +8,27 @@
 //!   [`ExtractionMode::Argmax`] the set degenerates to the single most
 //!   probable path (the Table-1 read-out).
 
+use dgr_autodiff::parallel::{par_indexed, par_map_mut};
 use dgr_dag::DagForest;
-use dgr_grid::{DemandMap, Design, GcellId};
+use dgr_grid::{DemandMap, Design, EdgeId, GcellId};
 
 use crate::config::{DgrConfig, ExtractionMode};
 use crate::relax::CostModel;
 use crate::solution::{NetRoute, RoutePath, RoutingSolution, SolutionMetrics};
-use crate::DgrError;
+use crate::{DgrError, NET_PAR_MIN};
+
+/// Below this many g-cell edges the overflow raster is computed on the
+/// calling thread.
+const EDGE_PAR_MIN: usize = 4096;
+
+/// A net's extraction plan — everything about its read-out that does not
+/// depend on the demand committed by earlier nets, computed in parallel:
+/// the argmax tree and, per subnet of that tree, the ranked candidate set
+/// the serial greedy pass chooses from.
+struct NetPlan {
+    tree: usize,
+    sets: Vec<Vec<usize>>,
+}
 
 /// Extracts a discrete 2D solution from a trained model.
 ///
@@ -45,58 +59,79 @@ pub fn extract_solution(
     let p = model.graph.value(model.p).to_vec();
 
     let grid = &design.grid;
-    let cap = &design.capacity;
-    let mut demand = DemandMap::new(grid);
-    let mut routes = Vec::with_capacity(forest.num_nets());
 
-    for n in 0..forest.num_nets() {
-        let tree_range = forest.trees_of_net(n);
-        let tree = tree_range
-            .clone()
+    // Demand-independent per-path cost (wirelength + via terms of the
+    // greedy objective), computed once in parallel instead of per greedy
+    // evaluation. The expression matches the serial seed path bit for bit.
+    let sqrt_l = (design.num_layers as f32).sqrt();
+    let mut static_cost = vec![0.0f32; forest.num_paths()];
+    par_map_mut(&mut static_cost, |i, v| {
+        *v = cfg.weights.wirelength * forest.path_wirelength(i)
+            + cfg.weights.via * sqrt_l * forest.path_turn_count(i);
+    });
+
+    // Phase 1 (parallel, pure): per-net plans — argmax tree plus ranked
+    // candidate sets. Placement is by net index, so the plan vector is
+    // identical at any thread count.
+    let plans: Vec<NetPlan> = par_indexed(forest.num_nets(), NET_PAR_MIN, |n| {
+        let tree = forest
+            .trees_of_net(n)
             .max_by(|&a, &b| q[a].total_cmp(&q[b]))
             .expect("net has at least one tree");
-        let mut paths = Vec::new();
-        for s in forest.subnets_of_tree(tree) {
-            let pick = match cfg.extraction {
-                ExtractionMode::Argmax => forest
+        let sets = forest
+            .subnets_of_tree(tree)
+            .map(|s| match cfg.extraction {
+                ExtractionMode::Argmax => vec![forest
                     .paths_of_subnet(s)
                     .max_by(|&a, &b| p[a].total_cmp(&p[b]))
-                    .expect("subnet has at least one path"),
-                ExtractionMode::TopP { threshold } => {
-                    let set = top_p_set(forest, s, &p, threshold);
-                    greedy_pick(design, forest, cfg, &demand, &set)
-                }
+                    .expect("subnet has at least one path")],
+                ExtractionMode::TopP { threshold } => top_p_set(forest, s, &p, threshold),
+            })
+            .collect();
+        NetPlan { tree, sets }
+    });
+
+    // Phase 2 (serial): greedy picks against the demand committed so far —
+    // inherently order-dependent, kept in net order. `picks` remembers each
+    // route's forest path indices so the rip-up scans below can walk
+    // `path_edges` instead of re-deriving edges from corner polylines.
+    let mut demand = DemandMap::new(grid);
+    let mut routes = Vec::with_capacity(forest.num_nets());
+    let mut picks: Vec<Vec<usize>> = Vec::with_capacity(forest.num_nets());
+    for (n, plan) in plans.into_iter().enumerate() {
+        let mut paths = Vec::with_capacity(plan.sets.len());
+        let mut net_picks = Vec::with_capacity(plan.sets.len());
+        for (s, set) in forest.subnets_of_tree(plan.tree).zip(&plan.sets) {
+            let pick = if set.len() == 1 {
+                set[0]
+            } else {
+                greedy_pick(design, forest, cfg, &demand, &static_cost, set)
             };
             let route = realize_path(grid, forest, s, pick);
             commit(grid, &mut demand, &route)?;
             paths.push(route);
+            net_picks.push(pick);
         }
         routes.push(NetRoute {
             net: n,
-            tree,
+            tree: plan.tree,
             paths,
         });
+        picks.push(net_picks);
     }
 
     // rip-up/re-pick rounds: nets over congested edges re-choose their
-    // paths greedily over the full candidate set of their selected tree
+    // paths greedily over the full candidate set of their selected tree.
+    // The overflow raster and the victim scan are pure reads of the
+    // committed demand — parallel; the re-pick loop commits — serial.
     for _ in 0..cfg.extraction_rounds {
-        let over: Vec<bool> = grid
-            .edge_ids()
-            .map(|e| demand.total(grid, cap, e) > cap.capacity(e) + 1e-4)
-            .collect();
-        let victims: Vec<usize> = (0..routes.len())
-            .filter(|&n| {
-                routes[n].paths.iter().any(|p| {
-                    p.corners.windows(2).any(|w| {
-                        let mut edges = Vec::new();
-                        grid.push_segment_edges(w[0], w[1], &mut edges)
-                            .map(|()| edges.iter().any(|e| over[e.index()]))
-                            .unwrap_or(false)
-                    })
-                })
-            })
-            .collect();
+        let over = overflowed_edges(design, &demand);
+        let victim_mask = par_indexed(routes.len(), NET_PAR_MIN, |n| {
+            picks[n]
+                .iter()
+                .any(|&i| forest.path_edges(i).iter().any(|&e| over[e as usize]))
+        });
+        let victims: Vec<usize> = (0..routes.len()).filter(|&n| victim_mask[n]).collect();
         if victims.is_empty() {
             break;
         }
@@ -108,14 +143,17 @@ pub fn extract_solution(
             // re-pick over all candidates of the selected tree
             let tree = routes[n].tree;
             let mut paths = Vec::with_capacity(routes[n].paths.len());
+            let mut net_picks = Vec::with_capacity(routes[n].paths.len());
             for s in forest.subnets_of_tree(tree) {
                 let set: Vec<usize> = forest.paths_of_subnet(s).collect();
-                let pick = greedy_pick(design, forest, cfg, &demand, &set);
+                let pick = greedy_pick(design, forest, cfg, &demand, &static_cost, &set);
                 let route = realize_path(grid, forest, s, pick);
                 commit(grid, &mut demand, &route)?;
                 paths.push(route);
+                net_picks.push(pick);
             }
             routes[n].paths = paths;
+            picks[n] = net_picks;
         }
     }
 
@@ -150,23 +188,35 @@ fn top_p_set(forest: &DagForest, s: usize, p: &[f32], threshold: f32) -> Vec<usi
     set
 }
 
+/// The per-edge overflow mask of the committed demand (shared with the
+/// adaptive-expansion pass). A pure per-edge read, computed in parallel —
+/// bit-identical at any thread count.
+pub(crate) fn overflowed_edges(design: &Design, demand: &DemandMap) -> Vec<bool> {
+    let grid = &design.grid;
+    let cap = &design.capacity;
+    par_indexed(grid.num_edges(), EDGE_PAR_MIN, |i| {
+        let e = EdgeId(i as u32);
+        demand.total(grid, cap, e) > cap.capacity(e) + 1e-4
+    })
+}
+
 /// Greedy pick inside a top-p set: minimize the marginal discrete cost
-/// against the demand committed so far.
+/// against the demand committed so far. `static_cost[i]` carries the
+/// demand-independent wirelength + via terms.
 fn greedy_pick(
     design: &Design,
     forest: &DagForest,
     cfg: &DgrConfig,
     demand: &DemandMap,
+    static_cost: &[f32],
     set: &[usize],
 ) -> usize {
     let grid = &design.grid;
     let cap = &design.capacity;
-    let sqrt_l = (design.num_layers as f32).sqrt();
     let mut best = set[0];
     let mut best_cost = f32::INFINITY;
     for &i in set {
-        let mut cost = cfg.weights.wirelength * forest.path_wirelength(i)
-            + cfg.weights.via * sqrt_l * forest.path_turn_count(i);
+        let mut cost = static_cost[i];
         // marginal wire overflow along the path's edges
         for &e in forest.path_edges(i) {
             let e = dgr_grid::EdgeId(e);

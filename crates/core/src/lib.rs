@@ -203,16 +203,32 @@ impl DgrRouter {
             snapshot::ensure_header(&mut s.sink, design);
         }
 
-        // 1. per-net tree candidate pools
-        let mut pools = Vec::with_capacity(design.nets.len());
-        {
+        // 1. per-net tree candidate pools — invariant config hoisted out
+        // of the loop, per-net seeds derived by index (deterministic under
+        // any parallel schedule), Steiner templates shared via the
+        // canonical cache, fan-out over the worker pool.
+        let pools = {
             let _s = dgr_obs::span("route", "candidates");
-            let mut cand_cfg = self.config.candidates.clone();
-            cand_cfg.clamp = Some(design.grid.bounds());
-            for net in &design.nets {
-                pools.push(dgr_rsmt::tree_candidates(&net.pins, &cand_cfg)?);
+            let mut base_cfg = self.config.candidates.clone();
+            base_cfg.clamp = Some(design.grid.bounds());
+            let cache = self.config.use_rsmt_cache.then(dgr_rsmt::RsmtCache::new);
+            let nets = &design.nets;
+            let results = dgr_autodiff::parallel::par_indexed(nets.len(), NET_PAR_MIN, |i| {
+                let cfg_i = dgr_rsmt::CandidateConfig {
+                    seed: per_net_seed(base_cfg.seed, i),
+                    ..base_cfg.clone()
+                };
+                match &cache {
+                    Some(c) => dgr_rsmt::tree_candidates_cached(&nets[i].pins, &cfg_i, c),
+                    None => dgr_rsmt::tree_candidates(&nets[i].pins, &cfg_i),
+                }
+            });
+            let mut pools = Vec::with_capacity(results.len());
+            for r in results {
+                pools.push(r?);
             }
-        }
+            pools
+        };
 
         let mut extras: std::collections::HashMap<usize, Vec<dgr_dag::PatternPath>> =
             Default::default();
@@ -302,6 +318,22 @@ impl DgrRouter {
     }
 }
 
+/// Below this many nets, per-net stages (candidate generation, extraction
+/// planning) stay on the calling thread.
+pub(crate) const NET_PAR_MIN: usize = 64;
+
+/// A distinct, well-mixed RNG seed for net `i` derived from the base
+/// candidate seed (splitmix64 finalizer). Depending only on `(base, i)`
+/// — never on generation order — keeps parallel candidate generation
+/// deterministic at any thread count.
+fn per_net_seed(base: u64, i: usize) -> u64 {
+    let mut z = base ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 mod expand {
     //! Adaptive forest expansion (Section 3.1's future-work direction):
     //! grow the DAG forest where the last round's solution overflowed.
@@ -363,15 +395,13 @@ mod expand {
         let grid = &design.grid;
         let cap = &design.capacity;
         let demand = &solution.demand;
-        let over: Vec<bool> = grid
-            .edge_ids()
-            .map(|e| demand.total(grid, cap, e) > cap.capacity(e) + 1e-4)
-            .collect();
+        let over = crate::extract::overflowed_edges(design, demand);
         let mut grew = false;
+        let mut edges = Vec::new();
         for route in &solution.routes {
             for (s, path) in forest.subnets_of_tree(route.tree).zip(&route.paths) {
                 let crosses = path.corners.windows(2).any(|w| {
-                    let mut edges = Vec::new();
+                    edges.clear();
                     grid.push_segment_edges(w[0], w[1], &mut edges)
                         .map(|()| edges.iter().any(|e| over[e.index()]))
                         .unwrap_or(false)

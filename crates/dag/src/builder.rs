@@ -111,6 +111,31 @@ pub fn build_forest_with_extras(
     patterns: PatternConfig,
     extras: &std::collections::HashMap<usize, Vec<crate::paths::PatternPath>>,
 ) -> Result<DagForest, DagError> {
+    // Stage 1 (serial, cheap): validate pools and prefix-sum each net's
+    // subnet count, so stage 2 knows every net's *global* subnet base —
+    // `extras` is keyed by global construction-order subnet index.
+    let mut subnet_base = Vec::with_capacity(candidates.len());
+    let mut next_subnet = 0usize;
+    for (n, pool) in candidates.iter().enumerate() {
+        if pool.is_empty() {
+            return Err(DagError::EmptyNet { net: n });
+        }
+        subnet_base.push(next_subnet);
+        // a tree's subnets are exactly its edges
+        next_subnet += pool.iter().map(|t| t.edges().len()).sum::<usize>();
+    }
+
+    // Stage 2: enumerate every net's patterns independently. Chunks are
+    // self-contained (counts + flat payloads); `par_indexed` places each
+    // net's chunk by index, so the result is identical at any thread
+    // count.
+    let chunks = dgr_autodiff::parallel::par_indexed(candidates.len(), NET_PAR_MIN, |n| {
+        build_net_chunk(grid, &candidates[n], patterns, extras, subnet_base[n])
+    });
+
+    // Stage 3 (serial): splice the chunks into the global CSR arenas in
+    // net order — pure copies plus offset bookkeeping. The first error in
+    // net order surfaces, matching the serial builder.
     let mut net_tree_offsets = Vec::with_capacity(candidates.len() + 1);
     net_tree_offsets.push(0u32);
     let mut tree_net = Vec::new();
@@ -127,49 +152,38 @@ pub fn build_forest_with_extras(
     let mut path_via_offsets = vec![0u32];
     let mut path_via_cells: Vec<u32> = Vec::new();
 
-    for (n, pool) in candidates.iter().enumerate() {
-        if pool.is_empty() {
-            return Err(DagError::EmptyNet { net: n });
-        }
-        for tree in pool {
+    for (n, chunk) in chunks.into_iter().enumerate() {
+        let chunk = chunk?;
+        let mut subnet_cursor = 0usize;
+        let mut path_cursor = 0usize;
+        let mut edge_cursor = 0usize;
+        let mut via_cursor = 0usize;
+        for &subnets_in_tree in &chunk.tree_subnet_counts {
             let t = tree_net.len() as u32;
             tree_net.push(n as u32);
-            for (a, b) in tree.subnets() {
+            for _ in 0..subnets_in_tree {
                 let s = subnet_tree.len() as u32;
                 subnet_tree.push(t);
-                subnet_endpoints.push((a, b));
-                let mut pool = crate::paths::enumerate_patterns(
-                    a,
-                    b,
-                    patterns.z_stride,
-                    patterns.c_detour,
-                    Some(grid.bounds()),
-                );
-                if let Some(more) = extras.get(&(s as usize)) {
-                    for extra in more {
-                        let endpoints_match = (extra.source() == a && extra.sink() == b)
-                            || (extra.source() == b && extra.sink() == a);
-                        if endpoints_match && !pool.contains(extra) {
-                            pool.push(extra.clone());
-                        }
-                    }
-                }
-                for path in pool {
+                subnet_endpoints.push(chunk.subnet_endpoints[subnet_cursor]);
+                for _ in 0..chunk.subnet_path_counts[subnet_cursor] {
                     path_subnet.push(s);
                     path_tree.push(t);
-                    path_wl.push(path.wirelength() as f32);
-                    path_turns.push(path.num_turns() as f32);
-                    for e in path.edges(grid)? {
-                        path_edge_ids.push(e.0);
-                    }
+                    path_wl.push(chunk.path_wl[path_cursor]);
+                    path_turns.push(chunk.path_turns[path_cursor]);
+                    let ne = chunk.path_edge_counts[path_cursor] as usize;
+                    path_edge_ids
+                        .extend_from_slice(&chunk.path_edge_ids[edge_cursor..edge_cursor + ne]);
+                    edge_cursor += ne;
                     path_edge_offsets.push(path_edge_ids.len() as u32);
-                    for v in path.turning_points() {
-                        let id = grid.cell_id(v)?;
-                        path_via_cells.push(id.0);
-                    }
+                    let nv = chunk.path_via_counts[path_cursor] as usize;
+                    path_via_cells
+                        .extend_from_slice(&chunk.path_via_cells[via_cursor..via_cursor + nv]);
+                    via_cursor += nv;
                     path_via_offsets.push(path_via_cells.len() as u32);
+                    path_cursor += 1;
                 }
                 subnet_path_offsets.push(path_subnet.len() as u32);
+                subnet_cursor += 1;
             }
             tree_subnet_offsets.push(subnet_tree.len() as u32);
         }
@@ -194,6 +208,91 @@ pub fn build_forest_with_extras(
     };
     debug_assert!(forest.validate().is_ok());
     Ok(forest)
+}
+
+/// Below this many nets the forest build stays on the calling thread —
+/// pattern enumeration for a handful of nets is cheaper than a pool
+/// dispatch.
+const NET_PAR_MIN: usize = 16;
+
+/// One net's share of the forest, built independently of every other net:
+/// per-tree/subnet/path counts plus the flat payloads, spliced into the
+/// global CSR arenas by the serial stitch pass.
+struct NetChunk {
+    tree_subnet_counts: Vec<u32>,
+    subnet_endpoints: Vec<(dgr_grid::Point, dgr_grid::Point)>,
+    subnet_path_counts: Vec<u32>,
+    path_wl: Vec<f32>,
+    path_turns: Vec<f32>,
+    path_edge_counts: Vec<u32>,
+    path_edge_ids: Vec<u32>,
+    path_via_counts: Vec<u32>,
+    path_via_cells: Vec<u32>,
+}
+
+fn build_net_chunk(
+    grid: &GcellGrid,
+    pool: &[RoutingTree],
+    patterns: PatternConfig,
+    extras: &std::collections::HashMap<usize, Vec<crate::paths::PatternPath>>,
+    subnet_base: usize,
+) -> Result<NetChunk, DagError> {
+    let mut chunk = NetChunk {
+        tree_subnet_counts: Vec::with_capacity(pool.len()),
+        subnet_endpoints: Vec::new(),
+        subnet_path_counts: Vec::new(),
+        path_wl: Vec::new(),
+        path_turns: Vec::new(),
+        path_edge_counts: Vec::new(),
+        path_edge_ids: Vec::new(),
+        path_via_counts: Vec::new(),
+        path_via_cells: Vec::new(),
+    };
+    let mut s = subnet_base;
+    for tree in pool {
+        chunk.tree_subnet_counts.push(tree.edges().len() as u32);
+        for (a, b) in tree.subnets() {
+            chunk.subnet_endpoints.push((a, b));
+            let mut paths = crate::paths::enumerate_patterns(
+                a,
+                b,
+                patterns.z_stride,
+                patterns.c_detour,
+                Some(grid.bounds()),
+            );
+            if let Some(more) = extras.get(&s) {
+                for extra in more {
+                    let endpoints_match = (extra.source() == a && extra.sink() == b)
+                        || (extra.source() == b && extra.sink() == a);
+                    if endpoints_match && !paths.contains(extra) {
+                        paths.push(extra.clone());
+                    }
+                }
+            }
+            chunk.subnet_path_counts.push(paths.len() as u32);
+            for path in paths {
+                chunk.path_wl.push(path.wirelength() as f32);
+                chunk.path_turns.push(path.num_turns() as f32);
+                let edges_before = chunk.path_edge_ids.len();
+                for e in path.edges(grid)? {
+                    chunk.path_edge_ids.push(e.0);
+                }
+                chunk
+                    .path_edge_counts
+                    .push((chunk.path_edge_ids.len() - edges_before) as u32);
+                let vias_before = chunk.path_via_cells.len();
+                for v in path.turning_points() {
+                    let id = grid.cell_id(v)?;
+                    chunk.path_via_cells.push(id.0);
+                }
+                chunk
+                    .path_via_counts
+                    .push((chunk.path_via_cells.len() - vias_before) as u32);
+            }
+            s += 1;
+        }
+    }
+    Ok(chunk)
 }
 
 #[cfg(test)]
@@ -367,6 +466,31 @@ mod tests {
         let base = build_forest(&g, &nets, PatternConfig::l_only()).unwrap();
         let grown = build_forest_with_extras(&g, &nets, PatternConfig::l_only(), &extras).unwrap();
         assert_eq!(grown.num_paths(), base.num_paths());
+    }
+
+    #[test]
+    fn parallel_build_is_thread_count_invariant() {
+        let g = grid();
+        // enough nets to clear NET_PAR_MIN and exercise the fan-out
+        let nets: Vec<Vec<RoutingTree>> = (0..40)
+            .map(|i| {
+                pool(&[
+                    Point::new(i % 17, (i * 3) % 19),
+                    Point::new((i * 7 + 2) % 18, (i * 5 + 1) % 17),
+                    Point::new((i * 11 + 4) % 16, (i * 13 + 6) % 18),
+                ])
+            })
+            .collect();
+        let build = |threads: usize| {
+            dgr_autodiff::parallel::set_num_threads(threads);
+            let f = build_forest(&g, &nets, PatternConfig::with_z(2)).unwrap();
+            dgr_autodiff::parallel::set_num_threads(0);
+            f
+        };
+        let f1 = build(1);
+        let f8 = build(8);
+        f1.validate().unwrap();
+        assert_eq!(f1, f8);
     }
 
     #[test]

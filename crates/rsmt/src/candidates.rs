@@ -21,8 +21,9 @@ use dgr_grid::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::canon::RsmtCache;
 use crate::tree::{dedup_pins, RoutingTree};
-use crate::{rsmt, RsmtError};
+use crate::RsmtError;
 
 /// Configuration for [`tree_candidates`].
 #[derive(Debug, Clone, PartialEq)]
@@ -94,11 +95,41 @@ pub fn tree_candidates(
     pins: &[Point],
     cfg: &CandidateConfig,
 ) -> Result<Vec<RoutingTree>, RsmtError> {
+    tree_candidates_impl(pins, cfg, None)
+}
+
+/// [`tree_candidates`] with a shared Steiner-template cache.
+///
+/// The base RSMT — the expensive Dreyfus–Wagner solve — is memoized per
+/// canonical pin configuration in `cache` (see [`crate::canon`]); the
+/// spanning-tree, shallow-light, and Steiner-shift variants are cheap and
+/// built per net as usual. The returned pool is **identical** to the
+/// uncached [`tree_candidates`] pool for the same inputs, because both
+/// paths solve in canonical space; the cache only skips repeated work.
+/// Hit/miss totals accumulate on `cache` and in the `dgr-obs` counters
+/// `rsmt.cache.hits` / `rsmt.cache.misses`.
+///
+/// # Errors
+///
+/// Returns [`RsmtError::NoPins`] for an empty pin list.
+pub fn tree_candidates_cached(
+    pins: &[Point],
+    cfg: &CandidateConfig,
+    cache: &RsmtCache,
+) -> Result<Vec<RoutingTree>, RsmtError> {
+    tree_candidates_impl(pins, cfg, Some(cache))
+}
+
+fn tree_candidates_impl(
+    pins: &[Point],
+    cfg: &CandidateConfig,
+    cache: Option<&RsmtCache>,
+) -> Result<Vec<RoutingTree>, RsmtError> {
     let unique = dedup_pins(pins);
     if unique.is_empty() {
         return Err(RsmtError::NoPins);
     }
-    let base = rsmt(&unique)?;
+    let base = crate::rsmt_unique(&unique, cache)?;
     let mut pool = vec![base.clone()];
     let mut fingerprints = vec![base.fingerprint()];
     let mut push = |tree: RoutingTree, pool: &mut Vec<RoutingTree>| {

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod candidates;
+pub mod canon;
 pub mod dreyfus_wagner;
 pub mod hanan;
 pub mod mst;
@@ -41,7 +42,8 @@ pub mod salt;
 pub mod steinerize;
 pub mod tree;
 
-pub use candidates::{tree_candidates, CandidateConfig};
+pub use candidates::{tree_candidates, tree_candidates_cached, CandidateConfig};
+pub use canon::{canonical_key, RsmtCache};
 pub use dreyfus_wagner::exact_steiner;
 pub use mst::rmst;
 pub use salt::shallow_light_tree;
@@ -76,9 +78,15 @@ impl std::error::Error for RsmtError {}
 
 /// Builds a rectilinear Steiner minimum tree over `pins`.
 ///
-/// Duplicate pins are merged. Nets with at most [`EXACT_PIN_LIMIT`] distinct
-/// pins get a provably optimal tree via [`exact_steiner`]; larger nets use
-/// [`steinerize::steinerized_rmst`].
+/// Duplicate pins are merged. 1-, 2-, and 3-pin nets take closed-form
+/// fast paths (singleton, direct edge, median star) that skip the Hanan
+/// grid entirely. Larger nets are reduced to their canonical pin
+/// configuration ([`canon::canonical_key`]) and solved there — exactly
+/// via [`exact_steiner`] up to [`EXACT_PIN_LIMIT`] distinct pins,
+/// heuristically via [`steinerize::steinerized_rmst`] above — then mapped
+/// back to real coordinates. Routing through canonical space keeps this
+/// function bit-identical to the memoized
+/// [`tree_candidates_cached`] path.
 ///
 /// # Errors
 ///
@@ -94,12 +102,30 @@ impl std::error::Error for RsmtError {}
 /// ```
 pub fn rsmt(pins: &[dgr_grid::Point]) -> Result<RoutingTree, RsmtError> {
     let unique = tree::dedup_pins(pins);
-    if unique.is_empty() {
-        return Err(RsmtError::NoPins);
-    }
-    if unique.len() <= EXACT_PIN_LIMIT {
-        Ok(exact_steiner(&unique))
-    } else {
-        Ok(steinerize::steinerized_rmst(&unique))
+    rsmt_unique(&unique, None)
+}
+
+/// [`rsmt`] over an already-deduplicated pin list, optionally memoized.
+///
+/// The single entry point both the cached and uncached candidate paths
+/// share: any topology the cache returns is the topology the uncached
+/// solve would have produced.
+pub(crate) fn rsmt_unique(
+    unique: &[dgr_grid::Point],
+    cache: Option<&RsmtCache>,
+) -> Result<RoutingTree, RsmtError> {
+    match unique.len() {
+        0 => Err(RsmtError::NoPins),
+        1 => Ok(RoutingTree::singleton(unique[0])),
+        2 => Ok(RoutingTree::from_parts(unique.to_vec(), 2, vec![(0, 1)])),
+        3 => Ok(canon::median_star(unique)),
+        _ => {
+            let (key, map) = canon::canonical_key(unique);
+            let template = match cache {
+                Some(c) => c.template(&key, canon::solve_canonical),
+                None => canon::solve_canonical(&key),
+            };
+            Ok(canon::instantiate(&template, &map, unique))
+        }
     }
 }

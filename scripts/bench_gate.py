@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
 """CI bench regression gate.
 
-Compares a fresh ``bench_train`` run against the committed baseline
-(``BENCH_train.json``) and fails when training throughput regressed by
-more than the allowed fraction:
+Compares a fresh bench run against the committed baseline and fails when
+the gated metric regressed by more than the allowed fraction:
 
     bench_gate.py BENCH_train.json /tmp/bench_fresh.json [--max-regression 0.15]
+    bench_gate.py --pipeline BENCH_pipeline.json /tmp/pipeline_fresh.json
 
-The verdict (baseline vs fresh iterations/second and the delta) is
-printed to stdout and, when ``$GITHUB_STEP_SUMMARY`` is set, appended
-there as a markdown table row. Speedups and small regressions pass; only
-``iters_per_sec`` gates — the per-phase means are reported for context
-but are too noisy on shared runners to fail on.
+The default (training) mode gates ``iters_per_sec`` (higher is better);
+``--pipeline`` gates ``route_wall_ms`` (lower is better) and also
+reports the canonical-cache hit rate and serial-vs-parallel speedup. The
+verdict is printed to stdout and, when ``$GITHUB_STEP_SUMMARY`` is set,
+appended there as a markdown table. Speedups and small regressions pass;
+per-phase means are reported for context but are too noisy on shared
+runners to fail on.
 """
 
 import argparse
@@ -28,28 +30,22 @@ def load(path: str) -> dict:
         sys.exit(f"bench_gate: cannot read {path}: {e}")
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline", help="committed BENCH_train.json")
-    ap.add_argument("fresh", help="freshly generated bench report")
-    ap.add_argument(
-        "--max-regression",
-        type=float,
-        default=0.15,
-        help="allowed fractional iters_per_sec drop (default 0.15)",
-    )
-    args = ap.parse_args()
+def append_summary(lines: str) -> None:
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as fh:
+            fh.write(lines)
 
-    base = load(args.baseline)
-    fresh = load(args.fresh)
+
+def gate_train(base: dict, fresh: dict, max_regression: float) -> int:
     base_ips = float(base["iters_per_sec"])
     fresh_ips = float(fresh["iters_per_sec"])
     if base_ips <= 0:
         sys.exit("bench_gate: baseline iters_per_sec must be positive")
 
     delta = fresh_ips / base_ips - 1.0
-    ok = delta >= -args.max_regression
-    verdict = "ok" if ok else f"FAIL (> {args.max_regression:.0%} regression)"
+    ok = delta >= -max_regression
+    verdict = "ok" if ok else f"FAIL (> {max_regression:.0%} regression)"
 
     print(
         f"bench_gate: baseline {base_ips:.1f} it/s -> fresh {fresh_ips:.1f} it/s "
@@ -59,16 +55,74 @@ def main() -> int:
         if key in base and key in fresh:
             print(f"  {key}: {float(base[key]):.3f} -> {float(fresh[key]):.3f} ms")
 
-    summary = os.environ.get("GITHUB_STEP_SUMMARY")
-    if summary:
-        with open(summary, "a", encoding="utf-8") as fh:
-            fh.write(
-                "| bench_train | baseline | fresh | delta | verdict |\n"
-                "|---|---|---|---|---|\n"
-                f"| iters/sec | {base_ips:.1f} | {fresh_ips:.1f} "
-                f"| {delta:+.1%} | {verdict} |\n"
-            )
+    append_summary(
+        "| bench_train | baseline | fresh | delta | verdict |\n"
+        "|---|---|---|---|---|\n"
+        f"| iters/sec | {base_ips:.1f} | {fresh_ips:.1f} "
+        f"| {delta:+.1%} | {verdict} |\n"
+    )
     return 0 if ok else 1
+
+
+def gate_pipeline(base: dict, fresh: dict, max_regression: float) -> int:
+    base_ms = float(base["route_wall_ms"])
+    fresh_ms = float(fresh["route_wall_ms"])
+    if base_ms <= 0:
+        sys.exit("bench_gate: baseline route_wall_ms must be positive")
+
+    # Lower is better: delta is the fractional wall-clock increase.
+    delta = fresh_ms / base_ms - 1.0
+    ok = delta <= max_regression
+    verdict = "ok" if ok else f"FAIL (> {max_regression:.0%} regression)"
+
+    hit_rate = float(fresh.get("cache_hit_rate", 0.0))
+    speedup = float(fresh.get("speedup_vs_serial", 0.0))
+    print(
+        f"bench_gate: baseline {base_ms:.1f} ms -> fresh {fresh_ms:.1f} ms "
+        f"({delta:+.1%}) ... {verdict}"
+    )
+    print(f"  cache hit rate: {hit_rate:.1%}  speedup vs serial: {speedup:.2f}x")
+    for key in ("candidates_ms", "forest_ms", "relax_ms", "extract_ms"):
+        b = base.get("phases", {}).get(key)
+        f = fresh.get("phases", {}).get(key)
+        if b is not None and f is not None:
+            print(f"  {key}: {float(b):.3f} -> {float(f):.3f} ms")
+
+    append_summary(
+        "| bench_pipeline | baseline | fresh | delta | verdict |\n"
+        "|---|---|---|---|---|\n"
+        f"| route wall (ms) | {base_ms:.1f} | {fresh_ms:.1f} "
+        f"| {delta:+.1%} | {verdict} |\n"
+        f"| cache hit rate | {float(base.get('cache_hit_rate', 0.0)):.1%} "
+        f"| {hit_rate:.1%} | | |\n"
+        f"| speedup vs serial | {float(base.get('speedup_vs_serial', 0.0)):.2f}x "
+        f"| {speedup:.2f}x | | |\n"
+    )
+    return 0 if ok else 1
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed bench baseline JSON")
+    ap.add_argument("fresh", help="freshly generated bench report")
+    ap.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="gate route_wall_ms (lower is better) instead of iters_per_sec",
+    )
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="allowed fractional regression of the gated metric (default 0.15)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+    if args.pipeline:
+        return gate_pipeline(base, fresh, args.max_regression)
+    return gate_train(base, fresh, args.max_regression)
 
 
 if __name__ == "__main__":

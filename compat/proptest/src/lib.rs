@@ -128,6 +128,63 @@ macro_rules! tuple_strategy {
 
 tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D));
 
+/// Always generates a clone of the wrapped value (`proptest::strategy::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice among same-valued strategies, built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+}
+
+impl<T> Union<T> {
+    /// A union over `(weight, strategy)` arms. Weights must not all be
+    /// zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u32 = self.arms.iter().map(|(w, _)| w).sum();
+        let mut r = rng.gen_range(0..total);
+        for (w, strat) in &self.arms {
+            if r < *w {
+                return strat.generate(rng);
+            }
+            r -= w;
+        }
+        unreachable!("weights sum covers the draw")
+    }
+}
+
+/// Weighted (`w => strategy`) or uniform choice among strategies
+/// producing the same value type (`proptest::prop_oneof!`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
 /// Collection strategies (`proptest::collection`).
 pub mod collection {
     use super::{SizeRange, Strategy, TestRng};
@@ -229,8 +286,8 @@ pub mod option {
 /// Everything a property-test file needs in scope.
 pub mod prelude {
     pub use crate as prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
 }
 
 /// Asserts a condition inside a property, reporting the formatted message

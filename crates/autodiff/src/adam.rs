@@ -111,22 +111,20 @@ impl Adam {
                 SendPtr(v.as_mut_ptr()),
             );
             // Elementwise and index-partitioned: bit-stable at any thread
-            // count.
+            // count. One fused pass reads the gradient once and updates
+            // moments + parameters together.
             parallel::par_blocks(n, n, move |block| {
-                for i in block {
-                    let g = grad[i];
-                    // SAFETY: blocks partition 0..n; each element is
-                    // touched by exactly one block.
-                    unsafe {
-                        let m = &mut *mp.get().add(i);
-                        let v = &mut *vp.get().add(i);
-                        *m = b1 * *m + (1.0 - b1) * g;
-                        *v = b2 * *v + (1.0 - b2) * g * g;
-                        let mhat = *m / bc1;
-                        let vhat = *v / bc2;
-                        *dp.get().add(i) -= lr * mhat / (vhat.sqrt() + eps);
-                    }
-                }
+                let r = block.start..block.end;
+                // SAFETY: blocks partition 0..n; each range is touched by
+                // exactly one block and the buffers outlive the dispatch.
+                let (d, m, v) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(dp.get().add(r.start), r.len()),
+                        std::slice::from_raw_parts_mut(mp.get().add(r.start), r.len()),
+                        std::slice::from_raw_parts_mut(vp.get().add(r.start), r.len()),
+                    )
+                };
+                crate::kernels::adam_update(d, m, v, &grad[r], lr, b1, b2, eps, bc1, bc2);
             });
         }
     }

@@ -49,6 +49,7 @@ pub mod activation;
 pub mod adam;
 pub mod graph;
 pub mod gumbel;
+pub mod kernels;
 pub mod ops;
 pub mod parallel;
 pub mod segments;
@@ -56,6 +57,7 @@ pub mod segments;
 pub use activation::Activation;
 pub use adam::Adam;
 pub use graph::{Graph, VarId};
+pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};
 pub use segments::Segments;
 
 /// Errors produced while assembling or executing a graph.

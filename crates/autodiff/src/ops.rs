@@ -2,14 +2,28 @@
 //!
 //! Each op reads input value slices and writes one output slice (forward),
 //! or reads the output cotangent and accumulates into input cotangents
-//! (backward). Kernels above the parallel threshold shard across worker
-//! threads via [`crate::parallel`].
+//! (backward). The element loops live in [`crate::kernels`] as chunked
+//! 8-lane passes (with scalar fallbacks); kernels above the parallel
+//! threshold shard across worker threads via [`crate::parallel`].
+//!
+//! # Batch axis
+//!
+//! Every buffer may carry a trailing batch of `B` independent instances
+//! in **instance-major** layout: the physical buffer is `B` consecutive
+//! logical slices. Pure elementwise ops process the whole physical
+//! buffer in one pass (bit-identical to per-instance processing);
+//! instance-coupled ops (reductions, segmented softmax, gather/scatter,
+//! the per-instance constants) loop over instances and apply the exact
+//! single-instance kernel — including its parallel-threshold decision —
+//! to each slice, so a batched instance reproduces the single-instance
+//! trajectory bit for bit.
 
 use std::sync::Arc;
 
 use crate::activation::Activation;
 use crate::graph::VarId;
-use crate::parallel::{self, par_dot, par_map_mut, par_scatter_add, par_sum, SendPtr};
+use crate::kernels;
+use crate::parallel::{self, SendPtr};
 use crate::segments::Segments;
 
 /// A node in the tape. Inputs always precede the node itself, so a single
@@ -25,100 +39,178 @@ pub(crate) enum Op {
     Mul { a: VarId, b: VarId },
     /// `out = k · x`.
     Scale { x: VarId, k: f32 },
-    /// `out = x + c` for a constant vector `c`.
+    /// `out = x + c` for a constant vector `c` (shared across instances).
     AddConst { x: VarId, c: Arc<Vec<f32>> },
-    /// `out = x ⊙ c` for a constant vector `c`.
+    /// `out = x ⊙ c` for a constant vector `c` (shared across instances).
     MulConst { x: VarId, c: Arc<Vec<f32>> },
-    /// `out = x / s[0]` where `s` is a length-1 variable (no gradient is
-    /// propagated to `s`; it is the annealing temperature).
+    /// `out = x / s[b]` per instance, where `s` is a logical length-1
+    /// variable (no gradient is propagated to `s`; it is the annealing
+    /// temperature — one per batch instance).
     DivByScalarVar { x: VarId, s: VarId },
-    /// Softmax within each CSR segment.
+    /// Softmax within each CSR segment, per instance.
     SegSoftmax { x: VarId, seg: Arc<Segments> },
-    /// `out[i] = x[idx[i]]`.
+    /// `out[i] = x[idx[i]]` per instance (shared index table).
     Gather { x: VarId, idx: Arc<Vec<u32>> },
-    /// `out[j] = Σ_{i: idx[i]=j} x[i]` (output length fixed at creation).
+    /// `out[j] = Σ_{i: idx[i]=j} x[i]` per instance (output length fixed
+    /// at creation).
     ScatterAdd { x: VarId, idx: Arc<Vec<u32>> },
     /// Elementwise activation.
     Activate { x: VarId, kind: Activation },
-    /// Scalar `out = Σ_i x[i]`.
+    /// Per-instance scalar `out[b] = Σ_i x[b·n + i]`.
     SumAll { x: VarId },
-    /// Scalar `out = Σ_i x[i]·w[i]` for a constant weight vector.
+    /// Per-instance scalar `out[b] = Σ_i x[b·n + i]·w[i]` for a constant
+    /// weight vector.
     DotConst { x: VarId, w: Arc<Vec<f32>> },
-    /// Scalar `out = Σ_j k_j · x_j[0]` over scalar inputs.
+    /// Per-instance scalar `out[b] = Σ_j k_j · x_j[b]` over scalar inputs.
     Combine { terms: Vec<(VarId, f32)> },
 }
 
+/// The `b`-th logical slice of an instance-major physical buffer whose
+/// logical length is `n`.
+#[inline]
+fn inst(x: &[f32], b: usize, n: usize) -> &[f32] {
+    &x[b * n..(b + 1) * n]
+}
+
+/// Shards `out` into parallel ranges and hands each range's mutable
+/// window plus its global range to `f` — the slice-kernel analogue of
+/// `par_map_mut`.
+fn par_out<F>(out: &mut [f32], f: F)
+where
+    F: Fn(std::ops::Range<usize>, &mut [f32]) + Sync,
+{
+    let outp = SendPtr(out.as_mut_ptr());
+    parallel::par_apply(out.len(), move |r| {
+        // SAFETY: par_apply ranges are disjoint and `out` outlives the
+        // dispatch.
+        let o = unsafe { std::slice::from_raw_parts_mut(outp.get().add(r.start), r.len()) };
+        f(r, o);
+    });
+}
+
 impl Op {
-    /// Forward kernel: reads `get(v)` for inputs, fills `out`.
-    pub(crate) fn forward<'a>(&self, get: &dyn Fn(VarId) -> &'a [f32], out: &mut [f32]) {
+    /// Forward kernel: reads `get(v)` for inputs (physical buffers), fills
+    /// `out` (`batch` consecutive logical slices).
+    pub(crate) fn forward<'a>(
+        &self,
+        get: &dyn Fn(VarId) -> &'a [f32],
+        out: &mut [f32],
+        batch: usize,
+    ) {
         match self {
             Op::Leaf { .. } => {}
             Op::Add { a, b } => {
                 let (xa, xb) = (get(*a), get(*b));
-                par_map_mut(out, |i, v| *v = xa[i] + xb[i]);
+                par_out(out, |r, o| kernels::add2(o, &xa[r.clone()], &xb[r]));
             }
             Op::Mul { a, b } => {
                 let (xa, xb) = (get(*a), get(*b));
-                par_map_mut(out, |i, v| *v = xa[i] * xb[i]);
+                par_out(out, |r, o| kernels::mul2(o, &xa[r.clone()], &xb[r]));
             }
             Op::Scale { x, k } => {
                 let x = get(*x);
                 let k = *k;
-                par_map_mut(out, |i, v| *v = k * x[i]);
+                par_out(out, |r, o| kernels::scale_into(o, &x[r], k));
             }
             Op::AddConst { x, c } => {
+                // One dispatch spans all instances; the range splits at
+                // instance boundaries so `c` indexes stay logical.
                 let x = get(*x);
-                par_map_mut(out, |i, v| *v = x[i] + c[i]);
+                let n = c.len();
+                par_out(out, |r, o| {
+                    let base = r.start;
+                    parallel::split_batch(r, n, |b, lr| {
+                        let p = b * n + lr.start..b * n + lr.end;
+                        kernels::add2(&mut o[p.start - base..p.end - base], &x[p], &c[lr]);
+                    });
+                });
             }
             Op::MulConst { x, c } => {
                 let x = get(*x);
-                par_map_mut(out, |i, v| *v = x[i] * c[i]);
+                let n = c.len();
+                par_out(out, |r, o| {
+                    let base = r.start;
+                    parallel::split_batch(r, n, |b, lr| {
+                        let p = b * n + lr.start..b * n + lr.end;
+                        kernels::mul2(&mut o[p.start - base..p.end - base], &x[p], &c[lr]);
+                    });
+                });
             }
             Op::DivByScalarVar { x, s } => {
                 let x = get(*x);
-                let s = get(*s)[0];
-                let inv = 1.0 / s;
-                par_map_mut(out, |i, v| *v = x[i] * inv);
+                let s = get(*s);
+                let n = out.len() / batch;
+                par_out(out, |r, o| {
+                    let base = r.start;
+                    parallel::split_batch(r, n, |b, lr| {
+                        let p = b * n + lr.start..b * n + lr.end;
+                        kernels::scale_into(
+                            &mut o[p.start - base..p.end - base],
+                            &x[p],
+                            1.0 / s[b],
+                        );
+                    });
+                });
             }
             Op::SegSoftmax { x, seg } => {
+                // All `batch × num_segments` softmaxes go out in one
+                // dispatch. Segments partition each instance's window, so
+                // every (b, s) pair owns a disjoint output slice; each
+                // softmax is computed by exactly one worker, so the
+                // result is bit-stable at any thread count.
                 let x = get(*x);
-                let outp = SendPtr(out.as_mut_ptr());
                 let seg = &**seg;
-                // Segments partition the output, so each block of segments
-                // owns a disjoint window — safe and bit-stable to shard.
-                parallel::par_blocks(seg.num_segments(), seg.len(), move |block| {
-                    for s in block {
+                let n = seg.len();
+                let nseg = seg.num_segments();
+                let outp = SendPtr(out.as_mut_ptr());
+                parallel::par_blocks(batch * nseg, batch * n, move |block| {
+                    for t in block {
+                        let (b, s) = (t / nseg, t % nseg);
                         let r = seg.segment(s);
-                        // SAFETY: segment ranges are disjoint per block.
+                        // SAFETY: (instance, segment) windows are disjoint.
                         let o = unsafe {
-                            std::slice::from_raw_parts_mut(outp.get().add(r.start), r.len())
+                            std::slice::from_raw_parts_mut(outp.get().add(b * n + r.start), r.len())
                         };
-                        softmax_into(&x[r], o);
+                        kernels::softmax_into(&x[b * n + r.start..b * n + r.end], o);
                     }
                 });
             }
             Op::Gather { x, idx } => {
                 let x = get(*x);
-                par_map_mut(out, |i, v| *v = x[idx[i] as usize]);
+                let n_out = idx.len();
+                let n_in = x.len() / batch;
+                par_out(out, |r, o| {
+                    let base = r.start;
+                    parallel::split_batch(r, n_out, |b, lr| {
+                        let p = b * n_out + lr.start..b * n_out + lr.end;
+                        kernels::gather_fwd(
+                            &mut o[p.start - base..p.end - base],
+                            inst(x, b, n_in),
+                            &idx[lr],
+                        );
+                    });
+                });
             }
             Op::ScatterAdd { x, idx, .. } => {
                 let x = get(*x);
                 out.fill(0.0);
-                par_scatter_add(out, idx, x);
+                parallel::par_scatter_add_batched(out, idx, x, batch);
             }
             Op::Activate { x, kind } => {
                 let x = get(*x);
                 let kind = *kind;
-                par_map_mut(out, |i, v| *v = kind.eval(x[i]));
+                par_out(out, |r, o| kernels::activate_fwd(kind, &x[r], o));
             }
             Op::SumAll { x } => {
-                out[0] = par_sum(get(*x));
+                parallel::par_sum_batched(get(*x), batch, out);
             }
             Op::DotConst { x, w } => {
-                out[0] = par_dot(get(*x), w);
+                parallel::par_dot_batched(get(*x), w, batch, out);
             }
             Op::Combine { terms } => {
-                out[0] = terms.iter().map(|(v, k)| k * get(*v)[0]).sum();
+                for (b, o) in out.iter_mut().enumerate() {
+                    *o = terms.iter().map(|(v, k)| k * get(*v)[b]).sum();
+                }
             }
         }
     }
@@ -153,27 +245,9 @@ impl Op {
     }
 }
 
-/// Numerically-stable softmax of `x` into `out` (same length).
-pub(crate) fn softmax_into(x: &[f32], out: &mut [f32]) {
-    if x.is_empty() {
-        return;
-    }
-    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let mut sum = 0.0f32;
-    for (o, &v) in out.iter_mut().zip(x) {
-        let e = (v - max).exp();
-        *o = e;
-        sum += e;
-    }
-    let inv = 1.0 / sum;
-    for o in out.iter_mut() {
-        *o *= inv;
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::kernels::softmax_into;
 
     #[test]
     fn softmax_sums_to_one() {

@@ -355,6 +355,69 @@ where
     });
 }
 
+/// Runs `f(range)` over contiguous subranges of `0..len` — the dispatch
+/// skeleton behind the chunked slice kernels in [`crate::kernels`].
+///
+/// Below [`PAR_THRESHOLD`] elements (or with one thread) the whole range
+/// is processed sequentially; in [`ExecMode::Spawn`] a scoped thread is
+/// spawned per chunk (the legacy executor the benches baseline against);
+/// otherwise chunks run on the worker pool. `f` must write only to
+/// locations owned by its range, so placement is independent of which
+/// worker executes a chunk (bit-stable across thread counts for
+/// elementwise kernels).
+/// Splits a physical range over instance-major batched storage with
+/// logical per-instance length `n` into per-instance pieces, calling
+/// `f(b, logical_range)` for each instance the range touches, in
+/// ascending order. Lets one parallel dispatch cover all `B` instances
+/// of an op whose per-element math is independent of the split (the
+/// kernel still sees one instance at a time).
+#[inline]
+pub(crate) fn split_batch(
+    r: std::ops::Range<usize>,
+    n: usize,
+    mut f: impl FnMut(usize, std::ops::Range<usize>),
+) {
+    debug_assert!(n > 0 || r.is_empty());
+    let mut i = r.start;
+    while i < r.end {
+        let b = i / n;
+        let end = ((b + 1) * n).min(r.end);
+        f(b, i - b * n..end - b * n);
+        i = end;
+    }
+}
+
+pub(crate) fn par_apply<F>(len: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let threads = num_threads();
+    if len < PAR_THRESHOLD || threads <= 1 {
+        pool_metrics().seq_fallbacks.add(1);
+        f(0..len);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    if exec_mode() == ExecMode::Spawn {
+        std::thread::scope(|scope| {
+            let mut lo = 0;
+            while lo < len {
+                let hi = (lo + chunk).min(len);
+                let f = &f;
+                scope.spawn(move || f(lo..hi));
+                lo = hi;
+            }
+        });
+        return;
+    }
+    let chunks = len.div_ceil(chunk);
+    run_chunks(chunks, &|c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(len);
+        f(lo..hi);
+    });
+}
+
 /// Applies `f(global_index, &mut out[i])` over `out` in parallel chunks.
 ///
 /// `f` must be pure per element — the index-to-value mapping cannot depend
@@ -481,6 +544,26 @@ fn return_partials(bufs: Vec<Vec<f32>>) {
     }
 }
 
+/// Borrows a zeroed `len`-element f32 scratch buffer from the executor's
+/// cache (the same pool [`par_scatter_add`] reuses for its reduction
+/// partials). Return it with [`return_scratch`] when done so hot loops —
+/// the backward pass, the extraction phases — stop paying a heap
+/// allocation per iteration.
+pub fn take_scratch(len: usize) -> Vec<f32> {
+    let mut b = {
+        let mut cache = PARTIALS_CACHE.lock().expect("scratch poisoned");
+        cache.pop().unwrap_or_default()
+    };
+    b.clear();
+    b.resize(len, 0.0);
+    b
+}
+
+/// Returns a buffer borrowed via [`take_scratch`] to the executor cache.
+pub fn return_scratch(buf: Vec<f32>) {
+    return_partials(vec![buf]);
+}
+
 /// Parallel scatter-add: `out[idx[i]] += vals[i]` for all `i`.
 ///
 /// Parallelized with per-chunk partial output buffers merged in chunk
@@ -499,9 +582,7 @@ pub fn par_scatter_add(out: &mut [f32], idx: &[u32], vals: &[f32]) {
     // large entry counts relative to the output size.
     if idx.len() < PAR_THRESHOLD || threads <= 1 || out.len() * threads > idx.len() * 4 {
         pool_metrics().seq_fallbacks.add(1);
-        for (&i, &v) in idx.iter().zip(vals) {
-            out[i as usize] += v;
-        }
+        crate::kernels::scatter_add(out, idx, vals);
         return;
     }
     if exec_mode() == ExecMode::Spawn {
@@ -516,14 +597,10 @@ pub fn par_scatter_add(out: &mut [f32], idx: &[u32], vals: &[f32]) {
         let part: &mut Vec<f32> = unsafe { &mut *parts.get().add(c) };
         let lo = c * chunk;
         let hi = (lo + chunk).min(idx.len());
-        for (&i, &v) in idx[lo..hi].iter().zip(&vals[lo..hi]) {
-            part[i as usize] += v;
-        }
+        crate::kernels::scatter_add(part, &idx[lo..hi], &vals[lo..hi]);
     });
     for part in &partials {
-        for (o, p) in out.iter_mut().zip(part) {
-            *o += *p;
-        }
+        crate::kernels::axpy(out, part, 1.0);
     }
     return_partials(partials);
 }
@@ -570,17 +647,24 @@ fn spawn_scatter_add(out: &mut [f32], idx: &[u32], vals: &[f32], threads: usize)
 /// Panics if the slices' lengths differ.
 pub fn par_axpy(dst: &mut [f32], src: &[f32], k: f32) {
     assert_eq!(dst.len(), src.len(), "axpy operands disagree");
-    par_map_mut(dst, |i, d| *d += k * src[i]);
+    let base = SendPtr(dst.as_mut_ptr());
+    par_apply(src.len(), move |r| {
+        // SAFETY: par_apply ranges are disjoint and dst outlives it.
+        let d = unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+        crate::kernels::axpy(d, &src[r], k);
+    });
 }
 
 /// Parallel sum with per-chunk partials merged in chunk order
-/// (bit-reproducible for a fixed thread count).
+/// (bit-reproducible for a fixed thread count). Per-chunk bodies use the
+/// mode-dispatched [`crate::kernels::sum`].
 pub fn par_sum(x: &[f32]) -> f32 {
-    par_reduce(x.len(), |lo, hi| x[lo..hi].iter().sum())
+    par_reduce(x.len(), |lo, hi| crate::kernels::sum(&x[lo..hi]))
 }
 
 /// Parallel dot product against a constant weight vector, chunk partials
 /// merged in chunk order (bit-reproducible for a fixed thread count).
+/// Per-chunk bodies use the mode-dispatched [`crate::kernels::dot`].
 ///
 /// # Panics
 ///
@@ -588,8 +672,145 @@ pub fn par_sum(x: &[f32]) -> f32 {
 pub fn par_dot(x: &[f32], w: &[f32]) -> f32 {
     assert_eq!(x.len(), w.len(), "dot operands disagree");
     par_reduce(x.len(), |lo, hi| {
-        x[lo..hi].iter().zip(&w[lo..hi]).map(|(a, b)| a * b).sum()
+        crate::kernels::dot(&x[lo..hi], &w[lo..hi])
     })
+}
+
+/// Batched [`par_sum`]: lane `b` of `out` receives exactly what
+/// `par_sum` would return for that lane alone (identical per-lane chunk
+/// boundaries and fold order), but all `batch × chunks` partials go out
+/// in a single pool dispatch.
+pub fn par_sum_batched(x: &[f32], batch: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), batch, "one output per lane");
+    if batch == 1 {
+        out[0] = par_sum(x);
+        return;
+    }
+    let n = x.len() / batch;
+    par_reduce_batched(n, batch, out, |b, lo, hi| {
+        crate::kernels::sum(&x[b * n + lo..b * n + hi])
+    });
+}
+
+/// Batched [`par_dot`] against a shared constant weight vector; same
+/// per-lane bit-identity contract as [`par_sum_batched`].
+///
+/// # Panics
+///
+/// Panics if `x.len() != w.len() * batch`.
+pub fn par_dot_batched(x: &[f32], w: &[f32], batch: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), batch, "one output per lane");
+    assert_eq!(x.len(), w.len() * batch, "dot operands disagree");
+    if batch == 1 {
+        out[0] = par_dot(x, w);
+        return;
+    }
+    let n = w.len();
+    par_reduce_batched(n, batch, out, |b, lo, hi| {
+        crate::kernels::dot(&x[b * n + lo..b * n + hi], &w[lo..hi])
+    });
+}
+
+/// Batched reduction skeleton behind the `*_batched` wrappers. Each
+/// lane's chunk layout replicates what [`par_reduce`] would use for a
+/// single lane of logical length `n`, so per-lane results are
+/// bit-identical to `batch` separate calls.
+fn par_reduce_batched<F>(n: usize, batch: usize, out: &mut [f32], partial: F)
+where
+    F: Fn(usize, usize, usize) -> f32 + Sync,
+{
+    let threads = num_threads();
+    let pooled = threads > 1 && exec_mode() == ExecMode::Pool;
+    let single_chunk = n < PAR_THRESHOLD || !pooled;
+    if single_chunk {
+        if pooled && n * batch >= PAR_THRESHOLD {
+            // Small lanes but a big batch: one dispatch, one lane per task.
+            let outp = SendPtr(out.as_mut_ptr());
+            run_chunks(batch, &|b| {
+                // SAFETY: each task exclusively owns out[b].
+                unsafe { *outp.get().add(b) = partial(b, 0, n) };
+            });
+        } else {
+            pool_metrics().seq_fallbacks.add(1);
+            for (b, o) in out.iter_mut().enumerate() {
+                *o = partial(b, 0, n);
+            }
+        }
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let chunks = n.div_ceil(chunk);
+    let mut partials = vec![0.0f32; batch * chunks];
+    let parts = SendPtr(partials.as_mut_ptr());
+    run_chunks(batch * chunks, &|t| {
+        let (b, c) = (t / chunks, t % chunks);
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        // SAFETY: task t exclusively owns partials[t].
+        unsafe { *parts.get().add(t) = partial(b, lo, hi) };
+    });
+    for (b, o) in out.iter_mut().enumerate() {
+        *o = partials[b * chunks..(b + 1) * chunks].iter().sum();
+    }
+}
+
+/// Batched [`par_scatter_add`] over instance-major lanes sharing one
+/// index table: lane `b` of `out` ends up exactly as if
+/// `par_scatter_add` had run on that lane alone (same per-lane chunk
+/// layout and chunk-order merge), with all lanes' chunk work — and the
+/// per-lane merges, which write disjoint lanes — batched into single
+/// pool dispatches.
+pub fn par_scatter_add_batched(out: &mut [f32], idx: &[u32], vals: &[f32], batch: usize) {
+    if batch == 1 {
+        return par_scatter_add(out, idx, vals);
+    }
+    let n_out = out.len() / batch;
+    let n = idx.len();
+    assert_eq!(vals.len(), n * batch, "scatter operands disagree");
+    let threads = num_threads();
+    if threads <= 1 || exec_mode() == ExecMode::Spawn {
+        for b in 0..batch {
+            par_scatter_add(
+                &mut out[b * n_out..(b + 1) * n_out],
+                idx,
+                &vals[b * n..(b + 1) * n],
+            );
+        }
+        return;
+    }
+    if n < PAR_THRESHOLD || n_out * threads > n * 4 {
+        // Per-lane sequential scatter; lanes are disjoint, so they can
+        // still fan out one-per-task in a single dispatch.
+        let outp = SendPtr(out.as_mut_ptr());
+        run_chunks(batch, &|b| {
+            // SAFETY: each task exclusively owns lane b.
+            let o = unsafe { std::slice::from_raw_parts_mut(outp.get().add(b * n_out), n_out) };
+            crate::kernels::scatter_add(o, idx, &vals[b * n..(b + 1) * n]);
+        });
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    let chunks = n.div_ceil(chunk);
+    let mut partials = take_partials(batch * chunks, n_out);
+    let parts = SendPtr(partials.as_mut_ptr());
+    run_chunks(batch * chunks, &move |t| {
+        let (b, c) = (t / chunks, t % chunks);
+        // SAFETY: task t exclusively owns partials[t].
+        let part: &mut Vec<f32> = unsafe { &mut *parts.get().add(t) };
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        crate::kernels::scatter_add(part, &idx[lo..hi], &vals[b * n + lo..b * n + hi]);
+    });
+    let outp = SendPtr(out.as_mut_ptr());
+    let partials_ref = &partials;
+    run_chunks(batch, &move |b| {
+        // SAFETY: each task exclusively owns lane b.
+        let o = unsafe { std::slice::from_raw_parts_mut(outp.get().add(b * n_out), n_out) };
+        for part in &partials_ref[b * chunks..(b + 1) * chunks] {
+            crate::kernels::axpy(o, part, 1.0);
+        }
+    });
+    return_partials(partials);
 }
 
 /// Chunked reduction skeleton: `partial(lo, hi)` per chunk, partials

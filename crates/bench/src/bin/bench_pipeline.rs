@@ -135,6 +135,13 @@ fn main() {
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let oversubscribed = threads > host_cpus;
+    if oversubscribed {
+        eprintln!(
+            "bench_pipeline: WARNING: {threads} worker threads on {host_cpus} host cpu(s) — \
+             oversubscribed, timings measure scheduling overhead as well as work"
+        );
+    }
 
     println!(
         "bench_pipeline: {nets} nets, {iters} iters, {threads} threads ({host_cpus} host cpus)"
@@ -190,6 +197,7 @@ fn main() {
     let _ = writeln!(json, "  \"iterations\": {iters},");
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"oversubscribed\": {oversubscribed},");
     let _ = writeln!(json, "  \"route_wall_ms\": {:.2},", par.wall_ms);
     let _ = writeln!(json, "  \"serial_wall_ms\": {:.2},", serial.wall_ms);
     let _ = writeln!(json, "  \"speedup_vs_serial\": {speedup:.3},");

@@ -7,8 +7,18 @@
 //!   pick inside each set against the demand committed so far. With
 //!   [`ExtractionMode::Argmax`] the set degenerates to the single most
 //!   probable path (the Table-1 read-out).
+//!
+//! The greedy/rip-up phases run against [`FastDemand`], a flat-array
+//! mirror of [`DemandMap`] with the per-edge endpoint cells, `½β`
+//! coefficients, capacities, and per-cell incident-edge lists resolved
+//! once up front: every `total(e)` in the hot loops is three loads and
+//! two multiply-adds instead of an endpoint → cell-id walk, and commits
+//! traverse the forest's precomputed per-path edge/via lists instead of
+//! re-deriving edges from corner polylines. All expressions keep the
+//! [`DemandMap`] evaluation order, so picks are bit-identical to the
+//! map-backed read-out.
 
-use dgr_autodiff::parallel::{par_indexed, par_map_mut};
+use dgr_autodiff::parallel::{par_indexed, par_map_mut, return_scratch, take_scratch};
 use dgr_dag::DagForest;
 use dgr_grid::{DemandMap, Design, EdgeId, GcellId};
 
@@ -30,11 +40,135 @@ struct NetPlan {
     sets: Vec<Vec<usize>>,
 }
 
+/// Flat-array demand state for the extraction hot loops.
+///
+/// Geometry (`end_*`, `coeff_*`, `cap_e`, the incident-edge CSR) is
+/// resolved once per extraction; `wire`/`vp` are borrowed from the
+/// executor scratch pool so repeated extractions (adaptive rounds, batch
+/// read-outs) reuse the same allocations.
+struct FastDemand {
+    /// Per-edge wire demand (mirror of [`DemandMap`]'s wire array).
+    wire: Vec<f32>,
+    /// Per-cell via pressure.
+    vp: Vec<f32>,
+    /// Endpoint cell ids of each edge.
+    end_a: Vec<u32>,
+    end_b: Vec<u32>,
+    /// `½β` of the respective endpoint cell.
+    coeff_a: Vec<f32>,
+    coeff_b: Vec<f32>,
+    /// Per-edge capacity.
+    cap_e: Vec<f32>,
+    /// Per-cell `½β` (the via-pressure share a turn adds to each
+    /// incident edge).
+    share: Vec<f32>,
+    /// Per-cell incident-edge CSR, in [`dgr_grid::GcellGrid::incident_edges`]
+    /// order so greedy cost accumulation keeps the legacy float order.
+    inc_off: Vec<u32>,
+    inc_edges: Vec<u32>,
+}
+
+impl FastDemand {
+    fn new(design: &Design) -> Self {
+        let grid = &design.grid;
+        let cap = &design.capacity;
+        let num_edges = grid.num_edges();
+        let num_cells = grid.num_cells();
+        let mut end_a = Vec::with_capacity(num_edges);
+        let mut end_b = Vec::with_capacity(num_edges);
+        let mut coeff_a = Vec::with_capacity(num_edges);
+        let mut coeff_b = Vec::with_capacity(num_edges);
+        let mut cap_e = Vec::with_capacity(num_edges);
+        for e in grid.edge_ids() {
+            let (pa, pb) = grid.edge_endpoints(e);
+            let ia = grid.cell_id(pa).expect("endpoint in grid");
+            let ib = grid.cell_id(pb).expect("endpoint in grid");
+            end_a.push(ia.0);
+            end_b.push(ib.0);
+            coeff_a.push(0.5 * cap.beta(ia));
+            coeff_b.push(0.5 * cap.beta(ib));
+            cap_e.push(cap.capacity(e));
+        }
+        let mut share = Vec::with_capacity(num_cells);
+        let mut inc_off = Vec::with_capacity(num_cells + 1);
+        let mut inc_edges = Vec::new();
+        inc_off.push(0u32);
+        for c in 0..num_cells {
+            let cell = GcellId(c as u32);
+            share.push(0.5 * cap.beta(cell));
+            let p = grid.cell_point(cell);
+            inc_edges.extend(grid.incident_edges(p).map(|e| e.0));
+            inc_off.push(inc_edges.len() as u32);
+        }
+        FastDemand {
+            wire: take_scratch(num_edges),
+            vp: take_scratch(num_cells),
+            end_a,
+            end_b,
+            coeff_a,
+            coeff_b,
+            cap_e,
+            share,
+            inc_off,
+            inc_edges,
+        }
+    }
+
+    /// Eq. (2) total demand of edge `e` — bit-identical to
+    /// [`DemandMap::total`] (`½β` is pre-folded; `0.5 * β * vp` parses as
+    /// `(0.5·β)·vp`, so folding preserves every rounding).
+    #[inline]
+    fn total(&self, e: usize) -> f32 {
+        self.wire[e]
+            + self.coeff_a[e] * self.vp[self.end_a[e] as usize]
+            + self.coeff_b[e] * self.vp[self.end_b[e] as usize]
+    }
+
+    /// Commits path `i` (unit wire demand per edge, one turn per via
+    /// cell). `+1.0` on integer-valued f32 is exact, so commit order
+    /// cannot perturb later reads.
+    fn commit(&mut self, forest: &DagForest, i: usize) {
+        for &e in forest.path_edges(i) {
+            self.wire[e as usize] += 1.0;
+        }
+        for &v in forest.path_vias(i) {
+            self.vp[v as usize] += 1.0;
+        }
+    }
+
+    /// Rips up path `i`.
+    fn uncommit(&mut self, forest: &DagForest, i: usize) {
+        for &e in forest.path_edges(i) {
+            self.wire[e as usize] -= 1.0;
+        }
+        for &v in forest.path_vias(i) {
+            self.vp[v as usize] -= 1.0;
+        }
+    }
+
+    /// The per-edge overflow mask of the committed demand — a pure
+    /// per-edge read, computed in parallel, bit-identical at any thread
+    /// count.
+    fn overflow_mask(&self) -> Vec<bool> {
+        par_indexed(self.cap_e.len(), EDGE_PAR_MIN, |e| {
+            self.total(e) > self.cap_e[e] + 1e-4
+        })
+    }
+
+    /// Returns the mutable buffers to the executor scratch pool.
+    fn release(self) {
+        return_scratch(self.wire);
+        return_scratch(self.vp);
+    }
+}
+
 /// Extracts a discrete 2D solution from a trained model.
 ///
 /// Runs one noise-free forward pass at the final annealed temperature,
 /// then realizes the selections net by net, committing demand as it goes
-/// (so later greedy picks see earlier commitments).
+/// (so later greedy picks see earlier commitments). On a batched model
+/// this reads instance 0; use [`extract_solution_instance`] for the
+/// others.
 ///
 /// # Errors
 ///
@@ -46,17 +180,32 @@ pub fn extract_solution(
     model: &mut CostModel,
     cfg: &DgrConfig,
 ) -> Result<RoutingSolution, DgrError> {
+    extract_solution_instance(design, forest, model, cfg, 0)
+}
+
+/// [`extract_solution`] for batch instance `instance` of a batched model
+/// (the noise-free forward pass evaluates every instance; the read-out
+/// uses instance `instance`'s probabilities).
+///
+/// # Panics
+///
+/// Panics if `instance >= model.batch()`.
+pub fn extract_solution_instance(
+    design: &Design,
+    forest: &DagForest,
+    model: &mut CostModel,
+    cfg: &DgrConfig,
+    instance: usize,
+) -> Result<RoutingSolution, DgrError> {
     let _span = dgr_obs::span("route", "extract");
-    // deterministic read-out: no noise, final temperature
-    let zero_tree = vec![0.0f32; model.graph.len_of(model.noise_tree)];
-    let zero_path = vec![0.0f32; model.graph.len_of(model.noise_path)];
-    model.graph.set_data(model.noise_tree, &zero_tree);
-    model.graph.set_data(model.noise_path, &zero_path);
+    // deterministic read-out: no noise, final temperature (all instances)
+    model.graph.data_mut(model.noise_tree).fill(0.0);
+    model.graph.data_mut(model.noise_path).fill(0.0);
     let final_temp = cfg.temperature_at(cfg.iterations.saturating_sub(1));
-    model.graph.set_data(model.temperature, &[final_temp]);
+    model.graph.data_mut(model.temperature).fill(final_temp);
     model.graph.forward();
-    let q = model.graph.value(model.q).to_vec();
-    let p = model.graph.value(model.p).to_vec();
+    let q = model.graph.value_at(model.q, instance);
+    let p = model.graph.value_at(model.p, instance);
 
     let grid = &design.grid;
 
@@ -64,7 +213,7 @@ pub fn extract_solution(
     // greedy objective), computed once in parallel instead of per greedy
     // evaluation. The expression matches the serial seed path bit for bit.
     let sqrt_l = (design.num_layers as f32).sqrt();
-    let mut static_cost = vec![0.0f32; forest.num_paths()];
+    let mut static_cost = take_scratch(forest.num_paths());
     par_map_mut(&mut static_cost, |i, v| {
         *v = cfg.weights.wirelength * forest.path_wirelength(i)
             + cfg.weights.via * sqrt_l * forest.path_turn_count(i);
@@ -85,7 +234,7 @@ pub fn extract_solution(
                     .paths_of_subnet(s)
                     .max_by(|&a, &b| p[a].total_cmp(&p[b]))
                     .expect("subnet has at least one path")],
-                ExtractionMode::TopP { threshold } => top_p_set(forest, s, &p, threshold),
+                ExtractionMode::TopP { threshold } => top_p_set(forest, s, p, threshold),
             })
             .collect();
         NetPlan { tree, sets }
@@ -95,7 +244,7 @@ pub fn extract_solution(
     // inherently order-dependent, kept in net order. `picks` remembers each
     // route's forest path indices so the rip-up scans below can walk
     // `path_edges` instead of re-deriving edges from corner polylines.
-    let mut demand = DemandMap::new(grid);
+    let mut fd = FastDemand::new(design);
     let mut routes = Vec::with_capacity(forest.num_nets());
     let mut picks: Vec<Vec<usize>> = Vec::with_capacity(forest.num_nets());
     for (n, plan) in plans.into_iter().enumerate() {
@@ -105,11 +254,10 @@ pub fn extract_solution(
             let pick = if set.len() == 1 {
                 set[0]
             } else {
-                greedy_pick(design, forest, cfg, &demand, &static_cost, set)
+                greedy_pick(forest, cfg, &fd, &static_cost, set)
             };
-            let route = realize_path(grid, forest, s, pick);
-            commit(grid, &mut demand, &route)?;
-            paths.push(route);
+            fd.commit(forest, pick);
+            paths.push(realize_path(grid, forest, s, pick));
             net_picks.push(pick);
         }
         routes.push(NetRoute {
@@ -125,7 +273,7 @@ pub fn extract_solution(
     // The overflow raster and the victim scan are pure reads of the
     // committed demand — parallel; the re-pick loop commits — serial.
     for _ in 0..cfg.extraction_rounds {
-        let over = overflowed_edges(design, &demand);
+        let over = fd.overflow_mask();
         let victim_mask = par_indexed(routes.len(), NET_PAR_MIN, |n| {
             picks[n]
                 .iter()
@@ -137,8 +285,8 @@ pub fn extract_solution(
         }
         for &n in &victims {
             // rip up
-            for path in &routes[n].paths {
-                uncommit(grid, &mut demand, path)?;
+            for &i in &picks[n] {
+                fd.uncommit(forest, i);
             }
             // re-pick over all candidates of the selected tree
             let tree = routes[n].tree;
@@ -146,20 +294,21 @@ pub fn extract_solution(
             let mut net_picks = Vec::with_capacity(routes[n].paths.len());
             for s in forest.subnets_of_tree(tree) {
                 let set: Vec<usize> = forest.paths_of_subnet(s).collect();
-                let pick = greedy_pick(design, forest, cfg, &demand, &static_cost, &set);
-                let route = realize_path(grid, forest, s, pick);
-                commit(grid, &mut demand, &route)?;
-                paths.push(route);
+                let pick = greedy_pick(forest, cfg, &fd, &static_cost, &set);
+                fd.commit(forest, pick);
+                paths.push(realize_path(grid, forest, s, pick));
                 net_picks.push(pick);
             }
             routes[n].paths = paths;
             picks[n] = net_picks;
         }
     }
+    fd.release();
+    return_scratch(static_cost);
 
     let mut solution = RoutingSolution {
         routes,
-        demand,
+        demand: DemandMap::new(grid),
         metrics: SolutionMetrics {
             total_wirelength: 0,
             total_turns: 0,
@@ -167,6 +316,8 @@ pub fn extract_solution(
         },
         train_report: None,
     };
+    // remeasure rebuilds the demand map from the realized polylines —
+    // identical to the demand the flat arrays tracked incrementally.
     solution.remeasure(design)?;
     Ok(solution)
 }
@@ -188,9 +339,9 @@ fn top_p_set(forest: &DagForest, s: usize, p: &[f32], threshold: f32) -> Vec<usi
     set
 }
 
-/// The per-edge overflow mask of the committed demand (shared with the
-/// adaptive-expansion pass). A pure per-edge read, computed in parallel —
-/// bit-identical at any thread count.
+/// The per-edge overflow mask of a committed [`DemandMap`] (shared with
+/// the adaptive-expansion pass). A pure per-edge read, computed in
+/// parallel — bit-identical at any thread count.
 pub(crate) fn overflowed_edges(design: &Design, demand: &DemandMap) -> Vec<bool> {
     let grid = &design.grid;
     let cap = &design.capacity;
@@ -204,34 +355,31 @@ pub(crate) fn overflowed_edges(design: &Design, demand: &DemandMap) -> Vec<bool>
 /// against the demand committed so far. `static_cost[i]` carries the
 /// demand-independent wirelength + via terms.
 fn greedy_pick(
-    design: &Design,
     forest: &DagForest,
     cfg: &DgrConfig,
-    demand: &DemandMap,
+    fd: &FastDemand,
     static_cost: &[f32],
     set: &[usize],
 ) -> usize {
-    let grid = &design.grid;
-    let cap = &design.capacity;
     let mut best = set[0];
     let mut best_cost = f32::INFINITY;
     for &i in set {
         let mut cost = static_cost[i];
         // marginal wire overflow along the path's edges
         for &e in forest.path_edges(i) {
-            let e = dgr_grid::EdgeId(e);
-            let d = demand.total(grid, cap, e);
-            let c = cap.capacity(e);
+            let e = e as usize;
+            let d = fd.total(e);
+            let c = fd.cap_e[e];
             cost += cfg.weights.overflow * ((d + 1.0 - c).max(0.0) - (d - c).max(0.0));
         }
         // marginal via-pressure overflow around the turn cells
         for &v in forest.path_vias(i) {
-            let cell = GcellId(v);
-            let point = grid.cell_point(cell);
-            let share = 0.5 * cap.beta(cell);
-            for e in grid.incident_edges(point) {
-                let d = demand.total(grid, cap, e);
-                let c = cap.capacity(e);
+            let v = v as usize;
+            let share = fd.share[v];
+            for &e in &fd.inc_edges[fd.inc_off[v] as usize..fd.inc_off[v + 1] as usize] {
+                let e = e as usize;
+                let d = fd.total(e);
+                let c = fd.cap_e[e];
                 cost += cfg.weights.overflow * ((d + share - c).max(0.0) - (d - c).max(0.0));
             }
         }
@@ -255,42 +403,6 @@ fn realize_path(grid: &dgr_grid::GcellGrid, forest: &DagForest, s: usize, i: usi
         corners.push(b);
     }
     RoutePath { corners }
-}
-
-/// Removes a realized path from the running demand map (rip-up).
-fn uncommit(
-    grid: &dgr_grid::GcellGrid,
-    demand: &mut DemandMap,
-    path: &RoutePath,
-) -> Result<(), DgrError> {
-    for w in path.corners.windows(2) {
-        demand.remove_segment(grid, w[0], w[1])?;
-    }
-    let n = path.corners.len();
-    if n > 2 {
-        for corner in &path.corners[1..n - 1] {
-            demand.remove_turn(grid, *corner)?;
-        }
-    }
-    Ok(())
-}
-
-/// Commits a realized path into the running demand map.
-fn commit(
-    grid: &dgr_grid::GcellGrid,
-    demand: &mut DemandMap,
-    path: &RoutePath,
-) -> Result<(), DgrError> {
-    for w in path.corners.windows(2) {
-        demand.add_segment(grid, w[0], w[1])?;
-    }
-    let n = path.corners.len();
-    if n > 2 {
-        for corner in &path.corners[1..n - 1] {
-            demand.add_turn(grid, *corner)?;
-        }
-    }
-    Ok(())
 }
 
 /// Returns, for diagnostic purposes, whether a probability vector is
@@ -393,6 +505,67 @@ mod tests {
         copy.remeasure(&design).unwrap();
         assert_eq!(copy.metrics.total_wirelength, sol.metrics.total_wirelength);
         assert_eq!(copy.demand.wire_slice(), sol.demand.wire_slice());
+    }
+
+    #[test]
+    fn fast_demand_total_matches_demand_map_bitwise() {
+        let (design, sol) = routed(1.0, ExtractionMode::TopP { threshold: 0.95 }, 7);
+        // replay the committed routes into a FastDemand via the forest-free
+        // arrays and compare every edge total against DemandMap::total
+        let mut fd = FastDemand::new(&design);
+        fd.wire.copy_from_slice(sol.demand.wire_slice());
+        fd.vp.copy_from_slice(sol.demand.via_pressure_slice());
+        let grid = &design.grid;
+        let cap = &design.capacity;
+        for e in grid.edge_ids() {
+            assert_eq!(
+                fd.total(e.index()),
+                sol.demand.total(grid, cap, e),
+                "edge {e:?}"
+            );
+        }
+        let mask = fd.overflow_mask();
+        assert_eq!(mask, overflowed_edges(&design, &sol.demand));
+        fd.release();
+    }
+
+    #[test]
+    fn batched_instance_extraction_matches_standalone() {
+        let grid = GcellGrid::new(8, 8).unwrap();
+        let cap = CapacityBuilder::uniform(&grid, 1.0).build(&grid).unwrap();
+        let design = Design::new(
+            grid,
+            cap,
+            vec![
+                Net::new("a", vec![Point::new(0, 0), Point::new(6, 6)]),
+                Net::new("b", vec![Point::new(0, 0), Point::new(6, 6)]),
+            ],
+            5,
+        )
+        .unwrap();
+        let pools: Vec<_> = design
+            .nets
+            .iter()
+            .map(|n| tree_candidates(&n.pins, &CandidateConfig::single()).unwrap())
+            .collect();
+        let forest = build_forest(&design.grid, &pools, PatternConfig::l_only()).unwrap();
+        let cfg = DgrConfig {
+            iterations: 60,
+            ..DgrConfig::default()
+        };
+        let seeds = [2u64, 9];
+        let (mut batched, mut rngs) =
+            crate::relax::build_cost_model_batched(&design, &forest, &cfg, &seeds);
+        crate::train::train_batched(&mut batched, &cfg, &mut rngs);
+        for (b, &seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut single = build_cost_model(&design, &forest, &cfg, &mut rng);
+            train(&mut single, &cfg, &mut rng);
+            let solo = extract_solution(&design, &forest, &mut single, &cfg).unwrap();
+            let inst = extract_solution_instance(&design, &forest, &mut batched, &cfg, b).unwrap();
+            assert_eq!(inst.routes, solo.routes, "instance {b} (seed {seed})");
+            assert_eq!(inst.demand.wire_slice(), solo.demand.wire_slice());
+        }
     }
 
     #[test]

@@ -257,6 +257,116 @@ pub fn train_with_hooks(
     }
 }
 
+/// Trains a batched model (see
+/// [`build_cost_model_batched`](crate::relax::build_cost_model_batched))
+/// and returns one report per instance.
+///
+/// One forward/backward/Adam sweep advances every instance together —
+/// the tape walk, reachability plan, and dispatch overhead are paid once
+/// per iteration instead of once per seed. Instance `b` resamples its
+/// Gumbel noise from `rngs[b]` in the single-instance draw order (tree
+/// noise, then path noise), and the annealing temperature is shared, so
+/// instance `b`'s trajectory is bit-for-bit the trajectory
+/// [`train`] would produce for that seed.
+///
+/// Reported wall-clock numbers (`duration`, `forward_time`,
+/// `backward_time`, `graph_bytes`) are whole-batch figures, replicated
+/// into every report: phases are fused across instances and cannot be
+/// attributed per seed.
+///
+/// # Panics
+///
+/// Panics if `rngs.len()` differs from the model's batch size.
+pub fn train_batched(
+    model: &mut CostModel,
+    cfg: &DgrConfig,
+    rngs: &mut [StdRng],
+) -> Vec<TrainReport> {
+    let _train_span = dgr_obs::span("train", "train_batched");
+    let batch = model.graph.batch();
+    assert_eq!(rngs.len(), batch, "one RNG per batch instance");
+    let start = Instant::now();
+    let mut adam = Adam::new(&model.graph, cfg.learning_rate);
+    let n_tree = model.graph.logical_len_of(model.noise_tree);
+    let n_path = model.graph.logical_len_of(model.noise_path);
+    let mut noise_buf_tree = vec![0.0f32; n_tree * batch];
+    let mut noise_buf_path = vec![0.0f32; n_path * batch];
+    let mut loss_history = vec![Vec::new(); batch];
+    let mut curve = vec![Vec::new(); batch];
+    let mut final_loss = vec![f32::NAN; batch];
+    let mut forward_time = Duration::ZERO;
+    let mut backward_time = Duration::ZERO;
+    let curve_stride = cfg.iterations.div_ceil(CURVE_POINTS).max(1);
+
+    for it in 0..cfg.iterations {
+        let temp = cfg.temperature_at(it);
+        model.graph.data_mut(model.temperature).fill(temp);
+        if cfg.gumbel_noise {
+            // instance-major refill, preserving each seed's single-run
+            // draw order: tree noise then path noise from its own RNG
+            for (b, rng) in rngs.iter_mut().enumerate() {
+                gumbel::fill_gumbel(rng, &mut noise_buf_tree[b * n_tree..(b + 1) * n_tree]);
+                gumbel::fill_gumbel(rng, &mut noise_buf_path[b * n_path..(b + 1) * n_path]);
+            }
+            model.graph.set_data(model.noise_tree, &noise_buf_tree);
+            model.graph.set_data(model.noise_path, &noise_buf_path);
+        }
+        let fwd_start = Instant::now();
+        {
+            let _s = dgr_obs::span("train", "forward");
+            model.graph.forward();
+        }
+        forward_time += fwd_start.elapsed();
+        let last_iter = it + 1 == cfg.iterations;
+        let record_loss = cfg.loss_record_interval > 0 && it % cfg.loss_record_interval == 0;
+        let record_curve = it % curve_stride == 0 || last_iter;
+        for b in 0..batch {
+            let loss = model.graph.value(model.loss)[b];
+            final_loss[b] = loss;
+            if record_loss {
+                loss_history[b].push((it, loss));
+            }
+            if record_curve {
+                curve[b].push(CurvePoint {
+                    iter: it,
+                    loss,
+                    overflow: model.graph.value(model.overflow_cost)[b],
+                });
+            }
+        }
+        let bwd_start = Instant::now();
+        {
+            let _s = dgr_obs::span("train", "backward");
+            model.graph.backward(model.loss);
+        }
+        backward_time += bwd_start.elapsed();
+        {
+            let _s = dgr_obs::span("train", "adam");
+            adam.step(&mut model.graph);
+        }
+    }
+
+    let duration = start.elapsed();
+    let final_temperature = cfg.temperature_at(cfg.iterations.saturating_sub(1));
+    let graph_bytes = model.graph.bytes();
+    loss_history
+        .into_iter()
+        .zip(curve)
+        .zip(final_loss)
+        .map(|((loss_history, curve), final_loss)| TrainReport {
+            iterations: cfg.iterations,
+            loss_history,
+            curve,
+            final_loss,
+            final_temperature,
+            duration,
+            forward_time,
+            backward_time,
+            graph_bytes,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +449,51 @@ mod tests {
         assert!(report.final_loss.is_finite());
         assert!(report.graph_bytes > 0);
         assert!((report.final_temperature - 1.0).abs() < 1e-6); // < 100 iters
+    }
+
+    #[test]
+    fn batched_training_reproduces_single_instance_trajectories_bitwise() {
+        let design = contended_design();
+        let pools: Vec<_> = design
+            .nets
+            .iter()
+            .map(|n| tree_candidates(&n.pins, &CandidateConfig::single()).unwrap())
+            .collect();
+        let forest = build_forest(&design.grid, &pools, PatternConfig::l_only()).unwrap();
+        let cfg = DgrConfig {
+            iterations: 40,
+            loss_record_interval: 10,
+            ..DgrConfig::default()
+        };
+        let seeds = [3u64, 3, 8];
+        let (mut batched, mut rngs) =
+            crate::relax::build_cost_model_batched(&design, &forest, &cfg, &seeds);
+        let reports = train_batched(&mut batched, &cfg, &mut rngs);
+        assert_eq!(reports.len(), 3);
+
+        for (b, &seed) in seeds.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut single = build_cost_model(&design, &forest, &cfg, &mut rng);
+            let solo = train(&mut single, &cfg, &mut rng);
+            // bit-for-bit: the loss trajectory, final loss, and the final
+            // trained logits of instance b equal the standalone run
+            assert_eq!(reports[b].final_loss, solo.final_loss, "seed {seed}");
+            assert_eq!(reports[b].loss_history, solo.loss_history);
+            assert_eq!(
+                batched.graph.value_at(batched.w_path, b),
+                single.graph.value(single.w_path),
+            );
+            assert_eq!(
+                batched.graph.value_at(batched.w_tree, b),
+                single.graph.value(single.w_tree),
+            );
+        }
+        // identical seeds produce identical instances
+        assert_eq!(reports[0].final_loss, reports[1].final_loss);
+        assert_eq!(
+            batched.graph.value_at(batched.w_path, 0),
+            batched.graph.value_at(batched.w_path, 1),
+        );
     }
 
     #[test]

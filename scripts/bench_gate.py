@@ -7,13 +7,15 @@ the gated metric regressed by more than the allowed fraction:
     bench_gate.py BENCH_train.json /tmp/bench_fresh.json [--max-regression 0.15]
     bench_gate.py --pipeline BENCH_pipeline.json /tmp/pipeline_fresh.json
 
-The default (training) mode gates ``iters_per_sec`` (higher is better);
-``--pipeline`` gates ``route_wall_ms`` (lower is better) and also
-reports the canonical-cache hit rate and serial-vs-parallel speedup. The
-verdict is printed to stdout and, when ``$GITHUB_STEP_SUMMARY`` is set,
-appended there as a markdown table. Speedups and small regressions pass;
-per-phase means are reported for context but are too noisy on shared
-runners to fail on.
+The default (training) mode gates ``iters_per_sec`` (higher is better)
+plus the ``extract_ms`` and ``backward_ms`` per-phase means (lower is
+better, with their own looser ``--max-phase-regression`` threshold since
+phase means are noisier than throughput); ``--pipeline`` gates
+``route_wall_ms`` (lower is better) and also reports the
+canonical-cache hit rate and serial-vs-parallel speedup. The verdict is
+printed to stdout and, when ``$GITHUB_STEP_SUMMARY`` is set, appended
+there as a markdown table. Speedups and small regressions pass;
+remaining per-phase means are reported for context only.
 """
 
 import argparse
@@ -37,7 +39,17 @@ def append_summary(lines: str) -> None:
             fh.write(lines)
 
 
-def gate_train(base: dict, fresh: dict, max_regression: float) -> int:
+GATED_PHASES = ("extract_ms", "backward_ms")
+
+
+def phase_mean(report: dict, key: str):
+    """Per-phase mean ms, preferring the ``phases`` table over the
+    legacy top-level field."""
+    value = report.get("phases", {}).get(key, report.get(key))
+    return None if value is None else float(value)
+
+
+def gate_train(base: dict, fresh: dict, max_regression: float, max_phase: float) -> int:
     base_ips = float(base["iters_per_sec"])
     fresh_ips = float(fresh["iters_per_sec"])
     if base_ips <= 0:
@@ -51,17 +63,37 @@ def gate_train(base: dict, fresh: dict, max_regression: float) -> int:
         f"bench_gate: baseline {base_ips:.1f} it/s -> fresh {fresh_ips:.1f} it/s "
         f"({delta:+.1%}) ... {verdict}"
     )
-    for key in ("forward_ms", "backward_ms"):
-        if key in base and key in fresh:
-            print(f"  {key}: {float(base[key]):.3f} -> {float(fresh[key]):.3f} ms")
 
-    append_summary(
-        "| bench_train | baseline | fresh | delta | verdict |\n"
-        "|---|---|---|---|---|\n"
-        f"| iters/sec | {base_ips:.1f} | {fresh_ips:.1f} "
-        f"| {delta:+.1%} | {verdict} |\n"
-    )
-    return 0 if ok else 1
+    summary_rows = [
+        "| bench_train | baseline | fresh | delta | verdict |",
+        "|---|---|---|---|---|",
+        f"| iters/sec | {base_ips:.1f} | {fresh_ips:.1f} | {delta:+.1%} | {verdict} |",
+    ]
+
+    # Per-phase gates: extract_ms and backward_ms are lower-is-better
+    # means and get their own (looser) regression budget. Other phases
+    # are context only.
+    all_ok = ok
+    for key in ("forward_ms", "backward_ms", "adam_ms", "extract_ms"):
+        b = phase_mean(base, key)
+        f = phase_mean(fresh, key)
+        if b is None or f is None:
+            continue
+        if key in GATED_PHASES and b > 0:
+            pdelta = f / b - 1.0
+            pok = pdelta <= max_phase
+            pverdict = "ok" if pok else f"FAIL (> {max_phase:.0%} regression)"
+            all_ok = all_ok and pok
+            print(f"  {key}: {b:.3f} -> {f:.3f} ms ({pdelta:+.1%}) ... {pverdict}")
+            summary_rows.append(
+                f"| {key} | {b:.3f} | {f:.3f} | {pdelta:+.1%} | {pverdict} |"
+            )
+        else:
+            print(f"  {key}: {b:.3f} -> {f:.3f} ms")
+            summary_rows.append(f"| {key} | {b:.3f} | {f:.3f} | | |")
+
+    append_summary("\n".join(summary_rows) + "\n")
+    return 0 if all_ok else 1
 
 
 def gate_pipeline(base: dict, fresh: dict, max_regression: float) -> int:
@@ -116,13 +148,20 @@ def main() -> int:
         default=0.15,
         help="allowed fractional regression of the gated metric (default 0.15)",
     )
+    ap.add_argument(
+        "--max-phase-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional regression of the gated per-phase means "
+        "extract_ms/backward_ms in training mode (default 0.30)",
+    )
     args = ap.parse_args()
 
     base = load(args.baseline)
     fresh = load(args.fresh)
     if args.pipeline:
         return gate_pipeline(base, fresh, args.max_regression)
-    return gate_train(base, fresh, args.max_regression)
+    return gate_train(base, fresh, args.max_regression, args.max_phase_regression)
 
 
 if __name__ == "__main__":

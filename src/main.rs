@@ -48,6 +48,7 @@ fn main() -> ExitCode {
         }
         Some("generate") => cmd_generate(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -79,6 +80,9 @@ fn print_usage() {
     println!("            [--snap out.snaps] [--snap-every N]");
     println!("            [--progress N] [--quiet]");
     println!("      route a design and print metrics");
+    println!("  dgr train <design.txt> [--batch N] [--iterations N] [--seed S]");
+    println!("            [--routes out.txt]");
+    println!("      train N seeds on one batched tape, report each, extract the best");
     println!("  dgr compare <design.txt> [--iterations N] [--trace out.json]");
     println!("      route with DGR and every baseline, print a comparison table");
     println!("  dgr report [--telemetry in.jsonl] [--snap in.snaps] [--trace in.json]");
@@ -315,6 +319,66 @@ fn cmd_route(args: &[String]) -> CliResult {
         println!("  snapshots        : {} → {path}", snap.sink.snapshots());
     }
     obs_finish(trace)?;
+    Ok(())
+}
+
+/// `dgr train`: batched multi-seed training — one tape evaluates
+/// `--batch N` seeds at once (seed, seed+1, …), each reproducing its
+/// standalone trajectory bit for bit; the best instance by final loss is
+/// extracted into the reported solution.
+fn cmd_train(args: &[String]) -> CliResult {
+    use dgr::core::{build_cost_model_batched, extract_solution_instance, train_batched};
+
+    let design = load_design(args)?;
+    let cfg = config_from(args)?;
+    cfg.validate()?;
+    let batch: usize = match flag_value(args, "--batch") {
+        Some(v) => v.parse()?,
+        None => 1,
+    };
+    if batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+    let seeds: Vec<u64> = (0..batch as u64).map(|b| cfg.seed + b).collect();
+
+    let t0 = std::time::Instant::now();
+    let pools: Vec<_> = design
+        .nets
+        .iter()
+        .map(|n| dgr::rsmt::tree_candidates(&n.pins, &cfg.candidates))
+        .collect::<Result<_, _>>()?;
+    let forest = dgr::dag::build_forest(&design.grid, &pools, cfg.patterns)?;
+    let (mut model, mut rngs) = build_cost_model_batched(&design, &forest, &cfg, &seeds);
+    let reports = train_batched(&mut model, &cfg, &mut rngs);
+
+    println!(
+        "trained {} instance(s) of {} nets in {:.2?} ({} iterations each)",
+        batch,
+        design.num_nets(),
+        t0.elapsed(),
+        cfg.iterations
+    );
+    let mut best = 0usize;
+    for (b, report) in reports.iter().enumerate() {
+        println!(
+            "  seed {:>4}  final loss {:>12.4}  final temperature {:.4}",
+            seeds[b], report.final_loss, report.final_temperature
+        );
+        if report.final_loss < reports[best].final_loss {
+            best = b;
+        }
+    }
+    let solution = extract_solution_instance(&design, &forest, &mut model, &cfg, best)?;
+    let m = &solution.metrics;
+    println!("best: seed {} (instance {best})", seeds[best]);
+    println!("  wirelength       : {}", m.total_wirelength);
+    println!("  turning points   : {}", m.total_turns);
+    println!("  overflowed edges : {}", m.overflow.overflowed_edges);
+    println!("  total overflow   : {:.2}", m.overflow.total_overflow);
+    if let Some(path) = flag_value(args, "--routes") {
+        std::fs::write(path, solution.to_text())?;
+        println!("  routes checkpoint → {path}");
+    }
     Ok(())
 }
 

@@ -282,6 +282,9 @@ pub(crate) fn run_chunks(chunks: usize, job: &(dyn Fn(usize) + Sync)) {
         pool.work_cv.notify_all();
         st.epoch
     };
+    if dispatch_start.is_some() {
+        dgr_obs::status_queue_depth(chunks as u64);
+    }
     run_job_chunks(pool, job_ptr, epoch);
     let mut st = pool.state.lock().expect("pool poisoned");
     while st.completed < st.total_chunks {
@@ -295,6 +298,7 @@ pub(crate) fn run_chunks(chunks: usize, job: &(dyn Fn(usize) + Sync)) {
         m.jobs_dispatched.add(1);
         m.busy_ns.add(ns);
         m.dispatch_ns.record(ns);
+        dgr_obs::status_queue_depth(0);
     }
 }
 

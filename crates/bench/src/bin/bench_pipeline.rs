@@ -7,6 +7,17 @@
 //! `DGR_BENCH_NETS` (default 4000), `DGR_BENCH_ITERS` (default 60),
 //! `DGR_BENCH_THREADS` (default 4), `DGR_BENCH_RUNS` (best-of, default
 //! 2), `DGR_BENCH_OUT` (default `BENCH_pipeline.json`).
+//!
+//! Output schema (`BENCH_pipeline.json`): `nets`/`iterations`/`threads`
+//! echo the workload; `route_wall_ms` (parallel+cached, the gated
+//! number) and `serial_wall_ms` are best-of-N wall clocks;
+//! `candidates_ms`/`forest_ms`/`relax_ms`/`extract_ms` are per-phase
+//! span totals from the kept run; `cache_hits`/`cache_misses` are the
+//! `rsmt.cache.hits`/`rsmt.cache.misses` counters of the canonical
+//! Steiner-template cache, and `cache_hit_rate` is
+//! `hits / (hits + misses)` (0 when no lookups). The same counters feed
+//! the `dgr` end-of-run summary table and every ledger record, so a low
+//! rate is visible without opening this file.
 
 use std::fmt::Write as _;
 use std::time::Instant;

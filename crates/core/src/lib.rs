@@ -54,12 +54,12 @@ pub use extract::{extract_solution, extract_solution_instance};
 pub use relax::{build_cost_model, build_cost_model_batched, CostModel};
 pub use snapshot::{
     ensure_header, snapshot_header, write_demand_snapshot, write_dense_snapshot,
-    write_solution_snapshot,
+    write_dense_snapshot_lane, write_solution_snapshot,
 };
 pub use solution::{NetRoute, RoutePath, RoutingSolution, SolutionMetrics};
 pub use train::{
-    train, train_batched, train_with_hooks, CurvePoint, ProgressConfig, SnapshotProbe, TrainHooks,
-    TrainReport, CURVE_POINTS,
+    train, train_batched, train_batched_with_hooks, train_with_hooks, CurvePoint, ProgressConfig,
+    SnapshotProbe, TrainHooks, TrainReport, CURVE_POINTS,
 };
 
 use dgr_grid::Design;
@@ -209,6 +209,7 @@ impl DgrRouter {
         // canonical cache, fan-out over the worker pool.
         let pools = {
             let _s = dgr_obs::span("route", "candidates");
+            dgr_obs::status_phase("candidates");
             let mut base_cfg = self.config.candidates.clone();
             base_cfg.clamp = Some(design.grid.bounds());
             let cache = self.config.use_rsmt_cache.then(dgr_rsmt::RsmtCache::new);
@@ -241,6 +242,7 @@ impl DgrRouter {
             // 2. DAG forest (with any adaptive extras)
             let forest = {
                 let _s = dgr_obs::span("route", "forest");
+                dgr_obs::status_phase("forest");
                 dgr_dag::build_forest_with_extras(
                     &design.grid,
                     &pools,
@@ -253,6 +255,7 @@ impl DgrRouter {
             // first round)
             let mut model = {
                 let _s = dgr_obs::span("route", "relax");
+                dgr_obs::status_phase("relax");
                 build_cost_model(design, &forest, &self.config, &mut rng)
             };
             if let Some(warm) = &warm_start {
@@ -279,6 +282,7 @@ impl DgrRouter {
             curve_acc.extend(report.curve.iter().copied());
 
             // 4. discrete extraction
+            dgr_obs::status_phase("extract");
             let solution = extract_solution(design, &forest, &mut model, &round_cfg)?;
 
             let done = round == self.config.adaptive_rounds

@@ -32,7 +32,12 @@ pub fn ensure_header(sink: &mut SnapshotSink, design: &Design) {
     }
 }
 
-fn to_record(snap: CongestionSnapshot, iter: u64, phase: &str) -> SnapshotRecord {
+fn to_record(
+    snap: CongestionSnapshot,
+    iter: u64,
+    phase: &str,
+    lane: Option<u64>,
+) -> SnapshotRecord {
     SnapshotRecord {
         iter,
         phase: phase.to_string(),
@@ -43,6 +48,7 @@ fn to_record(snap: CongestionSnapshot, iter: u64, phase: &str) -> SnapshotRecord
         overflowed_edges: snap.overflowed_edges as u64,
         total_overflow: snap.total_overflow,
         peak_overflow: snap.peak_overflow,
+        lane,
     }
 }
 
@@ -56,7 +62,7 @@ pub fn write_demand_snapshot(
 ) {
     ensure_header(sink, design);
     let snap = CongestionSnapshot::capture(&design.grid, &design.capacity, demand);
-    sink.write_snapshot(&to_record(snap, iter, phase));
+    sink.write_snapshot(&to_record(snap, iter, phase, None));
 }
 
 /// Captures and writes one snapshot of the dense per-edge expected
@@ -70,10 +76,23 @@ pub fn write_dense_snapshot(
     iter: u64,
     phase: &str,
 ) {
+    write_dense_snapshot_lane(sink, design, total_demand, iter, phase, None);
+}
+
+/// [`write_dense_snapshot`] with a batch lane tag — batched training
+/// captures each instance's demand grid separately and labels it.
+pub fn write_dense_snapshot_lane(
+    sink: &mut SnapshotSink,
+    design: &Design,
+    total_demand: &[f32],
+    iter: u64,
+    phase: &str,
+    lane: Option<u64>,
+) {
     ensure_header(sink, design);
     debug_assert_eq!(total_demand.len(), design.grid.num_edges());
     if let Ok(snap) = CongestionSnapshot::from_dense(&design.grid, &design.capacity, total_demand) {
-        sink.write_snapshot(&to_record(snap, iter, phase));
+        sink.write_snapshot(&to_record(snap, iter, phase, lane));
     }
 }
 

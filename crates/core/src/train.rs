@@ -136,6 +136,7 @@ pub fn train_with_hooks(
     hooks: &mut TrainHooks<'_>,
 ) -> TrainReport {
     let _train_span = dgr_obs::span("train", "train");
+    dgr_obs::status_phase("train");
     let start = Instant::now();
     let mut adam = Adam::new(&model.graph, cfg.learning_rate);
     let mut loss_history = Vec::new();
@@ -194,7 +195,9 @@ pub fn train_with_hooks(
                 );
             }
         }
-        if let Some(sink) = hooks.telemetry.as_deref_mut() {
+        // a row is materialized when a sink wants it OR the global obs
+        // switch is on (the live /status endpoint feeds off status_tick)
+        if hooks.telemetry.is_some() || dgr_obs::enabled() {
             if !hooks.skip_rss && (it % RSS_SAMPLE_INTERVAL == 0 || last_iter) {
                 rss_cache = rss_bytes();
             }
@@ -205,7 +208,7 @@ pub fn train_with_hooks(
                 .chain(model.graph.grad(model.w_path))
                 .map(|g| g * g)
                 .sum();
-            sink.record(&IterationRow {
+            let row = IterationRow {
                 iter: hooks.iter_offset + it,
                 loss,
                 wl: model.graph.value(model.wl_cost)[0],
@@ -214,7 +217,12 @@ pub fn train_with_hooks(
                 temperature: temp,
                 grad_norm: grad_sq.sqrt(),
                 mem_rss: rss_cache,
-            });
+                lane: None,
+            };
+            if let Some(sink) = hooks.telemetry.as_deref_mut() {
+                sink.record(&row);
+            }
+            dgr_obs::status_tick(&row);
         }
         {
             let _s = dgr_obs::span("train", "adam");
@@ -282,7 +290,25 @@ pub fn train_batched(
     cfg: &DgrConfig,
     rngs: &mut [StdRng],
 ) -> Vec<TrainReport> {
+    train_batched_with_hooks(model, cfg, rngs, &mut TrainHooks::default())
+}
+
+/// [`train_batched`] with observability hooks. Telemetry rows and dense
+/// snapshots are written once per lane per capture point, tagged with
+/// the lane index (`lane` field), so batched runs remain attributable;
+/// progress lines and live status track lane 0.
+///
+/// # Panics
+///
+/// Panics if `rngs.len()` differs from the model's batch size.
+pub fn train_batched_with_hooks(
+    model: &mut CostModel,
+    cfg: &DgrConfig,
+    rngs: &mut [StdRng],
+    hooks: &mut TrainHooks<'_>,
+) -> Vec<TrainReport> {
     let _train_span = dgr_obs::span("train", "train_batched");
+    dgr_obs::status_phase("train");
     let batch = model.graph.batch();
     assert_eq!(rngs.len(), batch, "one RNG per batch instance");
     let start = Instant::now();
@@ -297,6 +323,10 @@ pub fn train_batched(
     let mut forward_time = Duration::ZERO;
     let mut backward_time = Duration::ZERO;
     let curve_stride = cfg.iterations.div_ceil(CURVE_POINTS).max(1);
+    let n_w_tree = model.graph.logical_len_of(model.w_tree);
+    let n_w_path = model.graph.logical_len_of(model.w_path);
+    let mut last_progress: Option<Instant> = None;
+    let mut rss_cache: Option<u64> = None;
 
     for it in 0..cfg.iterations {
         let temp = cfg.temperature_at(it);
@@ -340,10 +370,77 @@ pub fn train_batched(
             model.graph.backward(model.loss);
         }
         backward_time += bwd_start.elapsed();
+        if let Some(probe) = hooks.snap.as_mut() {
+            if probe.every > 0 && (it % probe.every == 0 || last_iter) {
+                let demand = model.graph.value(model.demand);
+                let per_lane = demand.len() / batch;
+                for b in 0..batch {
+                    crate::snapshot::write_dense_snapshot_lane(
+                        probe.sink,
+                        probe.design,
+                        &demand[b * per_lane..(b + 1) * per_lane],
+                        (hooks.iter_offset + it) as u64,
+                        "train",
+                        Some(b as u64),
+                    );
+                }
+            }
+        }
+        if hooks.telemetry.is_some() || dgr_obs::enabled() {
+            if !hooks.skip_rss && (it % RSS_SAMPLE_INTERVAL == 0 || last_iter) {
+                rss_cache = rss_bytes();
+            }
+            let grad_tree = model.graph.grad(model.w_tree);
+            let grad_path = model.graph.grad(model.w_path);
+            for b in 0..batch {
+                let grad_sq: f32 = grad_tree[b * n_w_tree..(b + 1) * n_w_tree]
+                    .iter()
+                    .chain(&grad_path[b * n_w_path..(b + 1) * n_w_path])
+                    .map(|g| g * g)
+                    .sum();
+                let row = IterationRow {
+                    iter: hooks.iter_offset + it,
+                    loss: model.graph.value(model.loss)[b],
+                    wl: model.graph.value(model.wl_cost)[b],
+                    vias: model.graph.value(model.via_cost)[b],
+                    overflow: model.graph.value(model.overflow_cost)[b],
+                    temperature: temp,
+                    grad_norm: grad_sq.sqrt(),
+                    mem_rss: rss_cache,
+                    lane: Some(b as u64),
+                };
+                if let Some(sink) = hooks.telemetry.as_deref_mut() {
+                    sink.record(&row);
+                }
+                dgr_obs::status_tick(&row);
+            }
+        }
         {
             let _s = dgr_obs::span("train", "adam");
             adam.step(&mut model.graph);
         }
+        if let Some(progress) = hooks.progress {
+            let due = progress.every > 0 && (it % progress.every == 0 || last_iter);
+            let spaced = last_progress.is_none_or(|t| t.elapsed() >= progress.min_gap);
+            if due && (spaced || last_iter) {
+                last_progress = Some(Instant::now());
+                eprintln!(
+                    "[dgr] iter {:>6}/{}  loss {:>12.4}  overflow {:>10.4}  elapsed {:.1}s  (lane 0 of {batch})",
+                    hooks.iter_offset + it,
+                    hooks.iter_offset + cfg.iterations,
+                    model.graph.value(model.loss)[0],
+                    model.graph.value(model.overflow_cost)[0],
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+        }
+    }
+
+    if let Some(sink) = hooks.telemetry.as_deref_mut() {
+        sink.flush();
+    }
+    if let Some(probe) = hooks.snap.as_mut() {
+        probe.sink.flush();
     }
 
     let duration = start.elapsed();

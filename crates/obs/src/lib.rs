@@ -50,25 +50,36 @@
 //! ```
 
 pub mod json;
+pub mod ledger;
 pub mod metrics;
 pub mod parse;
+pub mod profile;
 pub mod report;
+pub mod serve;
 pub mod snapshot;
 pub mod span;
+pub mod status;
 pub mod telemetry;
 
 mod sink;
 
+pub use ledger::LedgerRecord;
 pub use metrics::{
-    counter, gauge, histogram, metrics_snapshot, reset_metrics, Counter, Gauge, Histogram,
-    MetricSnapshot, MetricValue,
+    counter, gauge, histogram, metrics_snapshot, prometheus_text, reset_metrics, Counter, Gauge,
+    Histogram, MetricSnapshot, MetricValue,
 };
+pub use profile::{FoldedProfile, Profiler, ProfilerConfig};
 pub use report::{render_report, ReportInputs};
+pub use serve::ObsServer;
 pub use snapshot::{
     AttributionRecord, NetShare, SnapshotHeader, SnapshotRecord, SnapshotSink, SnapshotStream,
 };
 pub use span::{
     chrome_trace, reset_spans, span, span_totals, write_chrome_trace, SpanGuard, SpanTotal,
+};
+pub use status::{
+    status_begin, status_json, status_phase, status_queue_depth, status_snapshot, status_tick,
+    RunStatus,
 };
 pub use telemetry::{IterationRow, TelemetrySink};
 

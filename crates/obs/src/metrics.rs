@@ -266,6 +266,10 @@ pub enum MetricValue {
         sum: u64,
         /// Mean sample.
         mean: f64,
+        /// ~p50 bucket upper bound.
+        p50: u64,
+        /// ~p95 bucket upper bound.
+        p95: u64,
         /// ~p99 bucket upper bound.
         p99: u64,
     },
@@ -284,11 +288,97 @@ pub fn metrics_snapshot() -> Vec<MetricSnapshot> {
                     count: h.count(),
                     sum: h.sum(),
                     mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p95: h.quantile(0.95),
                     p99: h.quantile(0.99),
                 },
             },
         })
         .collect()
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format (version 0.0.4), the payload the `--serve` exporter returns
+/// from `/metrics`.
+///
+/// Mapping:
+/// * counters → `counter` families (`dgr_` prefix, dots → underscores),
+/// * gauges → `gauge` families,
+/// * histograms → a `histogram` family with cumulative
+///   `_bucket{le="2^i"}` lines (only buckets with mass, plus `+Inf`),
+///   `_sum` and `_count` — and a companion `<name>_quantile` gauge
+///   family labelled `quantile="0.5" | "0.95" | "0.99"` carrying the
+///   log₂ quantile estimates.
+pub fn prometheus_text() -> String {
+    let reg = registry();
+    let mut out = String::new();
+    for r in reg.iter() {
+        let name = prometheus_name(r.name);
+        match r.metric {
+            MetricRef::Counter(c) => {
+                out.push_str(&format!("# TYPE {name} counter\n"));
+                out.push_str(&format!("{name} {}\n", c.get()));
+            }
+            MetricRef::Gauge(g) => {
+                out.push_str(&format!("# TYPE {name} gauge\n"));
+                out.push_str(&format!("{name} {}\n", fmt_f64(g.get())));
+            }
+            MetricRef::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for (b, bucket) in h.buckets.iter().enumerate() {
+                    let n = bucket.load(Ordering::Relaxed);
+                    if n == 0 {
+                        continue;
+                    }
+                    cumulative += n;
+                    let le = 1u64.checked_shl(b as u32).unwrap_or(u64::MAX);
+                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                out.push_str(&format!("{name}_count {}\n", h.count()));
+                out.push_str(&format!("# TYPE {name}_quantile gauge\n"));
+                for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                    out.push_str(&format!(
+                        "{name}_quantile{{quantile=\"{label}\"}} {}\n",
+                        h.quantile(q)
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `rsmt.cache.hits` → `dgr_rsmt_cache_hits`: prefixed, and every
+/// character outside `[a-zA-Z0-9_:]` replaced by `_` per the Prometheus
+/// metric-name grammar.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("dgr_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus float rendering: integral values without a trailing `.0`,
+/// non-finite values as `NaN`/`+Inf`/`-Inf`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
 }
 
 /// Zeroes every registered metric (registrations survive).
@@ -417,6 +507,30 @@ mod tests {
     fn kind_mismatch_panics() {
         let _ = counter("test.kind-clash");
         let _ = gauge("test.kind-clash");
+    }
+
+    #[test]
+    fn prometheus_text_exposes_all_kinds() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        counter("test.prom.counter").add(3);
+        gauge("test.prom.gauge").set(1.5);
+        let h = histogram("test.prom.hist");
+        h.reset();
+        for v in [1u64, 5, 1000] {
+            h.record(v);
+        }
+        crate::set_enabled(false);
+        let text = prometheus_text();
+        assert!(text.contains("# TYPE dgr_test_prom_counter counter\n"));
+        assert!(text.contains("dgr_test_prom_gauge 1.5\n"));
+        assert!(text.contains("# TYPE dgr_test_prom_hist histogram\n"));
+        assert!(text.contains("dgr_test_prom_hist_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("dgr_test_prom_hist_sum 1006\n"));
+        assert!(text.contains("dgr_test_prom_hist_count 3\n"));
+        assert!(text.contains("dgr_test_prom_hist_quantile{quantile=\"0.99\"}"));
+        h.reset();
+        counter("test.prom.counter").0.store(0, Ordering::Relaxed);
     }
 
     #[test]

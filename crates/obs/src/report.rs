@@ -33,6 +33,11 @@ pub struct ReportInputs {
     pub snapshots: Option<String>,
     /// Chrome trace JSON text ([`crate::chrome_trace`] output).
     pub trace: Option<String>,
+    /// Collapsed-stack profile text ([`crate::FoldedProfile`] output).
+    /// Unlike the other inputs this section renders only when present —
+    /// profiles are opt-in (`--profile`), so reports rendered without
+    /// one stay byte-identical to pre-profiler reports.
+    pub profile: Option<String>,
 }
 
 /// Renders the post-mortem HTML document.
@@ -70,6 +75,9 @@ pub fn render_report(inputs: &ReportInputs) -> Result<String, String> {
     render_snapshots(&mut html, stream.as_ref());
     render_attribution(&mut html, stream.as_ref());
     render_spans(&mut html, spans.as_deref());
+    if let Some(folded) = &inputs.profile {
+        render_profile(&mut html, &crate::profile::FoldedProfile::parse(folded));
+    }
 
     html.push_str("</body>\n</html>\n");
     Ok(html)
@@ -101,6 +109,7 @@ struct CurveRow {
     loss: f64,
     overflow: f64,
     temperature: f64,
+    lane: Option<u64>,
 }
 
 fn parse_telemetry(text: &str) -> Result<Vec<CurveRow>, String> {
@@ -113,9 +122,19 @@ fn parse_telemetry(text: &str) -> Result<Vec<CurveRow>, String> {
             loss: v.num("loss").unwrap_or(f64::NAN),
             overflow: v.num("overflow").unwrap_or(f64::NAN),
             temperature: v.num("temperature").unwrap_or(f64::NAN),
+            lane: v.get("lane").and_then(crate::parse::JsonValue::as_u64),
         })
         .collect())
 }
+
+/// A plotted telemetry metric: label, stroke colour, row accessor.
+type CurveMetric = (&'static str, &'static str, fn(&CurveRow) -> f64);
+
+const CURVE_METRICS: [CurveMetric; 3] = [
+    ("loss", "#b13a3a", |r: &CurveRow| r.loss),
+    ("overflow", "#3a66b1", |r: &CurveRow| r.overflow),
+    ("temperature", "#3a9b57", |r: &CurveRow| r.temperature),
+];
 
 fn render_curves(html: &mut String, rows: Option<&[CurveRow]>) {
     html.push_str("<h2>Training curves</h2>\n");
@@ -125,6 +144,13 @@ fn render_curves(html: &mut String, rows: Option<&[CurveRow]>) {
     };
     if rows.is_empty() {
         html.push_str("<p class=\"missing\">Telemetry file contained no rows.</p>\n");
+        return;
+    }
+    let mut lanes: Vec<Option<u64>> = rows.iter().map(|r| r.lane).collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    if lanes.len() > 1 {
+        render_lane_curves(html, rows, &lanes);
         return;
     }
     let first = rows.first().unwrap();
@@ -137,15 +163,7 @@ fn render_curves(html: &mut String, rows: Option<&[CurveRow]>) {
         fmt(last.loss),
         fmt(last.overflow),
     );
-    for (label, color, pick) in [
-        (
-            "loss",
-            "#b13a3a",
-            (|r: &CurveRow| r.loss) as fn(&CurveRow) -> f64,
-        ),
-        ("overflow", "#3a66b1", |r: &CurveRow| r.overflow),
-        ("temperature", "#3a9b57", |r: &CurveRow| r.temperature),
-    ] {
+    for (label, color, pick) in CURVE_METRICS {
         let series: Vec<(f64, f64)> = rows
             .iter()
             .filter(|r| pick(r).is_finite())
@@ -155,6 +173,45 @@ fn render_curves(html: &mut String, rows: Option<&[CurveRow]>) {
         html.push_str(&line_chart(&series, color));
         let _ = write!(html, "<figcaption>{label} vs. iteration</figcaption>");
         html.push_str("</figure>\n");
+    }
+}
+
+/// Per-lane curves for batched (`--batch N`) runs: one figure per
+/// metric per lane, grouped metric-first so lanes sit side by side.
+fn render_lane_curves(html: &mut String, rows: &[CurveRow], lanes: &[Option<u64>]) {
+    let iters = rows.iter().filter(|r| r.lane == lanes[0]).count();
+    let _ = writeln!(
+        html,
+        "<p class=\"note\">{} batch lanes · {} iterations per lane \
+         (rows tagged with their lane index)</p>",
+        lanes.len(),
+        iters,
+    );
+    for (label, color, pick) in CURVE_METRICS {
+        for lane in lanes {
+            let series: Vec<(f64, f64)> = rows
+                .iter()
+                .filter(|r| r.lane == *lane && pick(r).is_finite())
+                .map(|r| (r.iter, pick(r)))
+                .collect();
+            html.push_str("<figure>");
+            html.push_str(&line_chart(&series, color));
+            match lane {
+                Some(l) => {
+                    let _ = write!(
+                        html,
+                        "<figcaption>{label} vs. iteration — lane {l}</figcaption>"
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        html,
+                        "<figcaption>{label} vs. iteration — untagged</figcaption>"
+                    );
+                }
+            }
+            html.push_str("</figure>\n");
+        }
     }
 }
 
@@ -281,9 +338,13 @@ fn render_snapshots(html: &mut String, stream: Option<&SnapshotStream>) {
     for snap in &stream.snapshots {
         html.push_str("<figure>");
         html.push_str(&heatmap_svg(header, snap));
+        let lane = match snap.lane {
+            Some(l) => format!(", lane {l}"),
+            None => String::new(),
+        };
         let _ = write!(
             html,
-            "<figcaption>iter {} ({}) — {} overflowed edges, total overflow {}, \
+            "<figcaption>iter {} ({}{lane}) — {} overflowed edges, total overflow {}, \
              peak {}</figcaption>",
             snap.iter,
             escape(&snap.phase),
@@ -528,6 +589,67 @@ fn render_spans(html: &mut String, spans: Option<&[SpanAgg]>) {
 }
 
 // ---------------------------------------------------------------------------
+// sampling profile
+// ---------------------------------------------------------------------------
+
+/// Renders the collapsed-stack profile section: headline sample stats,
+/// the hot-leaf-frame ranking, and the heaviest whole stacks. Only
+/// called when a profile input is present.
+fn render_profile(html: &mut String, profile: &crate::profile::FoldedProfile) {
+    html.push_str("<h2>Sampling profile</h2>\n");
+    let busy = profile.busy_samples();
+    if busy == 0 {
+        html.push_str("<p class=\"missing\">Profile contains no stack samples.</p>\n");
+        return;
+    }
+    let mut note = format!(
+        "<p class=\"note\">{} samples ({} in spans, {} idle)",
+        profile.samples, busy, profile.idle
+    );
+    if profile.peak_rss > 0 {
+        let _ = write!(
+            note,
+            " · peak RSS {} MiB",
+            fmt(profile.peak_rss as f64 / (1024.0 * 1024.0))
+        );
+    }
+    note.push_str("</p>\n");
+    html.push_str(&note);
+
+    html.push_str(
+        "<h3>Hot frames (self samples)</h3>\n\
+         <table>\n<tr><th class=\"l\">frame</th><th>samples</th><th>%</th></tr>\n",
+    );
+    for (name, count) in profile.hot_frames().into_iter().take(20) {
+        let _ = writeln!(
+            html,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}%</td></tr>",
+            escape(&name),
+            count,
+            fmt(count as f64 / busy as f64 * 100.0),
+        );
+    }
+    html.push_str("</table>\n");
+
+    let mut stacks: Vec<(&String, &u64)> = profile.counts.iter().collect();
+    stacks.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+    html.push_str(
+        "<h3>Heaviest stacks</h3>\n\
+         <table>\n<tr><th class=\"l\">stack</th><th>samples</th><th>%</th></tr>\n",
+    );
+    for (stack, count) in stacks.into_iter().take(20) {
+        let _ = writeln!(
+            html,
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}%</td></tr>",
+            escape(stack),
+            count,
+            fmt(*count as f64 / busy as f64 * 100.0),
+        );
+    }
+    html.push_str("</table>\n");
+}
+
+// ---------------------------------------------------------------------------
 // helpers
 // ---------------------------------------------------------------------------
 
@@ -587,6 +709,7 @@ mod tests {
             overflowed_edges: 1,
             total_overflow: 1.0,
             peak_overflow: 1.0,
+            lane: None,
         };
         let attr = AttributionRecord {
             phase: "final".into(),
@@ -618,6 +741,7 @@ mod tests {
             telemetry: Some(telemetry.to_string()),
             snapshots: Some(snaps),
             trace: Some(trace.to_string()),
+            profile: None,
         }
     }
 
@@ -650,6 +774,38 @@ mod tests {
         })
         .unwrap();
         assert_eq!(html.matches("class=\"missing\"").count(), 4);
+    }
+
+    #[test]
+    fn profile_section_renders_only_when_supplied() {
+        let without = render_report(&tiny_inputs()).unwrap();
+        assert!(!without.contains("Sampling profile"));
+        let mut inputs = tiny_inputs();
+        inputs.profile = Some("route;train;forward 30\nroute;train;backward 50\n(idle) 5\n".into());
+        let with = render_report(&inputs).unwrap();
+        assert!(with.contains("<h2>Sampling profile</h2>"));
+        assert!(with.contains("route;train;backward"));
+        assert!(with.contains("Hot frames"));
+    }
+
+    #[test]
+    fn lane_tagged_telemetry_renders_per_lane_curves() {
+        let mut inputs = tiny_inputs();
+        inputs.telemetry = Some(
+            "{\"iter\":0,\"loss\":10.0,\"overflow\":1.0,\"temperature\":1.0,\"lane\":0}\n\
+             {\"iter\":0,\"loss\":12.0,\"overflow\":1.5,\"temperature\":1.0,\"lane\":1}\n\
+             {\"iter\":1,\"loss\":9.0,\"overflow\":0.5,\"temperature\":0.9,\"lane\":0}\n\
+             {\"iter\":1,\"loss\":11.0,\"overflow\":1.2,\"temperature\":0.9,\"lane\":1}\n"
+                .into(),
+        );
+        let html = render_report(&inputs).unwrap();
+        assert!(html.contains("2 batch lanes"));
+        assert!(html.contains("loss vs. iteration — lane 0"));
+        assert!(html.contains("loss vs. iteration — lane 1"));
+        // single-lane rendering is byte-stable: untagged input keeps the
+        // original captions
+        let single = render_report(&tiny_inputs()).unwrap();
+        assert!(single.contains("<figcaption>loss vs. iteration</figcaption>"));
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! `--serve ADDR`: a tiny blocking HTTP/1.1 exporter over
+//! `std::net::TcpListener` — zero dependencies, hand-rolled request
+//! parsing, one thread.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — every registered obs metric in the Prometheus
+//!   text exposition format ([`crate::metrics::prometheus_text`]),
+//! * `GET /status` — the live run status as JSON
+//!   ([`crate::status::status_json`]): current job/phase/iteration,
+//!   loss, overflow, temperature, batch width, queue depth, RSS,
+//! * `GET /report` — the standard HTML post-mortem rendered from the
+//!   live telemetry ring and span registry *mid-run*,
+//! * `GET /` — a plain-text index of the above.
+//!
+//! The server is deliberately minimal: GET only, `Connection: close`
+//! on every response, one request per connection, 2-second socket
+//! timeouts. That is exactly enough for `curl`, Prometheus scrapers
+//! and the future `dgrd` daemon frontend, with nothing to keep alive
+//! or pool. Requests are served from the accept loop thread — a slow
+//! client cannot stall the training loop, only other scrapers.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running exporter. Keep the handle alive for the duration of the
+/// run; [`ObsServer::stop`] (or drop) shuts the listener down.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9090`, or port 0 for an
+    /// OS-assigned port) and spawns the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn start(addr: &str) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("dgr-serve".into())
+            .spawn(move || accept_loop(&listener, &stop2))?;
+        Ok(ObsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 binds).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // unblock accept() with a throwaway connection
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        // per-connection errors (timeouts, resets) only drop that client
+        let _ = serve_connection(stream);
+    }
+}
+
+fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let path = match read_request_path(&mut stream) {
+        Ok(p) => p,
+        Err(e) => {
+            let _ = write_response(
+                &mut stream,
+                400,
+                "text/plain",
+                &format!("bad request: {e}\n"),
+            );
+            return Ok(());
+        }
+    };
+    let (status, content_type, body) = route(&path);
+    write_response(&mut stream, status, content_type, &body)
+}
+
+/// Reads the request head and returns the request-target path. Only
+/// `GET` is accepted; the body (none, for GET) and headers are
+/// discarded.
+fn read_request_path(stream: &mut TcpStream) -> Result<String, String> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 512];
+    // read until the blank line ending the head (or a sane cap)
+    while !head_complete(&buf) {
+        if buf.len() > 16 * 1024 {
+            return Err("request head too large".to_string());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?;
+    let target = parts.next().ok_or("no request target")?;
+    if method != "GET" {
+        return Err(format!("method {method} not supported"));
+    }
+    // strip any query string; the endpoints take no parameters
+    Ok(target.split('?').next().unwrap_or("/").to_string())
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+/// Maps a request path to `(status, content-type, body)`.
+fn route(path: &str) -> (u16, &'static str, String) {
+    match path {
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::metrics::prometheus_text(),
+        ),
+        "/status" => {
+            let mut body = crate::status::status_json();
+            body.push('\n');
+            (200, "application/json", body)
+        }
+        "/report" => (200, "text/html; charset=utf-8", live_report()),
+        "/" => (
+            200,
+            "text/plain; charset=utf-8",
+            "dgr observatory\n\n/metrics  Prometheus text exposition\n/status   live run status (JSON)\n/report   HTML post-mortem of the run so far\n".to_string(),
+        ),
+        _ => (404, "text/plain", format!("no such endpoint: {path}\n")),
+    }
+}
+
+/// Renders the standard report from whatever the run has produced so
+/// far: the live telemetry ring and the span registry. Snapshot grids
+/// are file-bound, so the congestion section renders its placeholder.
+fn live_report() -> String {
+    let status = crate::status::status_snapshot();
+    let telemetry = crate::status::status_ring_jsonl();
+    let trace = crate::chrome_trace();
+    let title = if status.job.is_empty() {
+        "live".to_string()
+    } else {
+        format!("{} (live)", status.job)
+    };
+    let inputs = crate::report::ReportInputs {
+        title,
+        telemetry: (!telemetry.is_empty()).then_some(telemetry),
+        snapshots: None,
+        trace: (trace != "[]").then_some(trace),
+        profile: None,
+    };
+    crate::report::render_report(&inputs).unwrap_or_else(|e| {
+        format!("<!DOCTYPE html>\n<html><body><p>report error: {e}</p></body></html>\n")
+    })
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_status_report_and_404() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        crate::counter("serve.test.counter").add(2);
+        crate::status::status_begin("train", 10, 1);
+        crate::status::status_phase("forward");
+        let server = ObsServer::start("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("dgr_serve_test_counter 2\n"), "{body}");
+
+        let (status, body) = get(addr, "/status");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"phase\":\"forward\""), "{body}");
+
+        let (status, body) = get(addr, "/report");
+        assert_eq!(status, 200);
+        assert!(body.contains("<html"), "{body}");
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        let (status, _) = get(addr, "/");
+        assert_eq!(status, 200);
+
+        server.stop();
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let _guard = crate::test_lock();
+        let server = ObsServer::start("127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        server.stop();
+    }
+}

@@ -23,7 +23,7 @@
 //! count is reported by [`dropped_events`]).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -79,6 +79,52 @@ thread_local! {
     static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
 }
 
+// ---------------------------------------------------------------------------
+// active-span stacks (the sampling profiler's view)
+// ---------------------------------------------------------------------------
+
+/// Whether the sampling profiler is attached. When off (the default),
+/// span open/close never touches the active-stack registry, preserving
+/// the lock-free open path.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+#[inline]
+pub(crate) fn profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+    if !on {
+        active().clear();
+    }
+}
+
+/// Per-thread stacks of currently-open span names. Only maintained while
+/// [`profiling`] — a mutex push/pop per span open/close, acceptable for
+/// phase- and iteration-granularity spans.
+fn active() -> std::sync::MutexGuard<'static, HashMap<u32, Vec<&'static str>>> {
+    static ACTIVE: OnceLock<Mutex<HashMap<u32, Vec<&'static str>>>> = OnceLock::new();
+    match ACTIVE.get_or_init(|| Mutex::new(HashMap::new())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A point-in-time copy of every thread's open-span stack, outermost
+/// frame first, sorted by thread id (deterministic iteration for the
+/// profiler's aggregation). Empty stacks are skipped.
+pub(crate) fn active_stacks() -> Vec<(u32, Vec<&'static str>)> {
+    let map = active();
+    let mut out: Vec<(u32, Vec<&'static str>)> = map
+        .iter()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(&tid, s)| (tid, s.clone()))
+        .collect();
+    out.sort_by_key(|(tid, _)| *tid);
+    out
+}
+
 /// Opens a span named `name` under category `cat`; the span closes (and
 /// is recorded) when the returned guard drops. Both strings must be
 /// static so hot recording never allocates.
@@ -97,11 +143,16 @@ pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
     });
     // materialize the epoch before `start` so offsets are never negative
     let _ = epoch();
+    let tracked = profiling();
+    if tracked {
+        active().entry(thread_id()).or_default().push(name);
+    }
     SpanGuard {
         live: Some(LiveSpan {
             cat,
             name,
             depth,
+            tracked,
             start: Instant::now(),
         }),
     }
@@ -111,6 +162,9 @@ struct LiveSpan {
     cat: &'static str,
     name: &'static str,
     depth: u32,
+    /// Whether this span pushed onto the active-stack registry at open
+    /// time (profiling may toggle while the span is live; pop iff pushed).
+    tracked: bool,
     start: Instant,
 }
 
@@ -127,6 +181,14 @@ impl Drop for SpanGuard {
         };
         let dur = live.start.elapsed();
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if live.tracked {
+            // tracked spans close in LIFO order among themselves, so the
+            // top of this thread's stack is this span (untracked spans
+            // never pushed)
+            if let Some(stack) = active().get_mut(&thread_id()) {
+                stack.pop();
+            }
+        }
         let event = SpanEvent {
             cat: live.cat,
             name: live.name,

@@ -1,0 +1,251 @@
+//! Live run status: the mutable "where is the run right now" state
+//! behind the `/status` endpoint and mid-run `/report` rendering.
+//!
+//! The pipeline pushes into a small global registry — current phase,
+//! iteration progress, latest loss/overflow — and keeps a bounded ring
+//! of recent telemetry rows so `/report` can render training curves
+//! while the run is still iterating. All updates are gated on
+//! [`crate::enabled`], so an uninstrumented run pays one relaxed load
+//! per call site and never touches the mutex.
+//!
+//! The ring is bounded at [`RING_CAPACITY`] rows by stride doubling:
+//! when full, every second retained row is dropped and the keep-stride
+//! doubles, so arbitrarily long runs keep an evenly thinned history
+//! (newest rows always land; resolution degrades gracefully).
+
+use crate::json::JsonObject;
+use crate::telemetry::IterationRow;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Maximum telemetry rows retained for live report rendering.
+pub const RING_CAPACITY: usize = 2048;
+
+/// The queryable state of the current run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStatus {
+    /// What the process is doing: `"route"`, `"train"`, `"idle"`...
+    pub job: String,
+    /// Current pipeline phase (`"candidates"`, `"forest"`, `"relax"`,
+    /// `"extract"`, `"train"`...).
+    pub phase: String,
+    /// Last completed training iteration (monotone across rounds).
+    pub iter: u64,
+    /// Planned total iterations (0 when unknown).
+    pub total_iters: u64,
+    /// Latest training loss (lane 0 for batched runs).
+    pub loss: f32,
+    /// Latest unweighted overflow term.
+    pub overflow: f32,
+    /// Current Gumbel-softmax temperature.
+    pub temperature: f32,
+    /// Batch lane count (1 for single-instance runs).
+    pub batch: u64,
+    /// Worker-pool jobs dispatched and not yet retired (best effort).
+    pub queue_depth: u64,
+}
+
+struct Live {
+    status: RunStatus,
+    ring: Vec<IterationRow>,
+    stride: u64,
+}
+
+fn live() -> MutexGuard<'static, Live> {
+    static LIVE: OnceLock<Mutex<Live>> = OnceLock::new();
+    match LIVE
+        .get_or_init(|| {
+            Mutex::new(Live {
+                status: RunStatus::default(),
+                ring: Vec::new(),
+                stride: 1,
+            })
+        })
+        .lock()
+    {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Sets the job name and planned iteration total, clearing the previous
+/// run's ring and counters.
+pub fn status_begin(job: &str, total_iters: u64, batch: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut l = live();
+    l.status = RunStatus {
+        job: job.to_string(),
+        phase: String::new(),
+        total_iters,
+        batch: batch.max(1),
+        ..RunStatus::default()
+    };
+    l.ring.clear();
+    l.stride = 1;
+}
+
+/// Sets the current pipeline phase.
+pub fn status_phase(phase: &str) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut l = live();
+    if l.status.phase != phase {
+        l.status.phase.clear();
+        l.status.phase.push_str(phase);
+    }
+}
+
+/// Publishes one iteration's headline numbers and appends the row to the
+/// live telemetry ring. Lane-tagged rows from batched runs all land in
+/// the ring; the headline numbers track lane 0 (or untagged rows).
+pub fn status_tick(row: &IterationRow) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut l = live();
+    if row.lane.unwrap_or(0) == 0 {
+        l.status.iter = row.iter as u64;
+        l.status.loss = row.loss;
+        l.status.overflow = row.overflow;
+        l.status.temperature = row.temperature;
+    }
+    let stride = l.stride;
+    if (row.iter as u64).is_multiple_of(stride) {
+        l.ring.push(*row);
+        if l.ring.len() >= RING_CAPACITY {
+            // thin to every second retained row; newer rows keep landing
+            // at the doubled stride
+            let mut keep = 0usize;
+            for i in (0..l.ring.len()).step_by(2) {
+                l.ring[keep] = l.ring[i];
+                keep += 1;
+            }
+            l.ring.truncate(keep);
+            l.stride = stride.saturating_mul(2);
+        }
+    }
+}
+
+/// Publishes the worker-pool queue depth (jobs in flight).
+pub fn status_queue_depth(depth: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    live().status.queue_depth = depth;
+}
+
+/// A copy of the current status.
+pub fn status_snapshot() -> RunStatus {
+    live().status.clone()
+}
+
+/// The retained telemetry rows as JSONL text (live `/report` input).
+pub fn status_ring_jsonl() -> String {
+    let l = live();
+    let mut out = String::new();
+    for row in &l.ring {
+        out.push_str(&row.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// The `/status` JSON payload: the [`RunStatus`] fields plus the current
+/// process RSS in bytes (`rss` is `null` when unmeasurable).
+pub fn status_json() -> String {
+    let s = status_snapshot();
+    let mut o = JsonObject::new();
+    o.field_str("job", &s.job);
+    o.field_str("phase", &s.phase);
+    o.field_u64("iter", s.iter);
+    o.field_u64("total_iters", s.total_iters);
+    o.field_f32("loss", s.loss);
+    o.field_f32("overflow", s.overflow);
+    o.field_f32("temperature", s.temperature);
+    o.field_u64("batch", s.batch);
+    o.field_u64("queue_depth", s.queue_depth);
+    o.field_opt_u64("rss", crate::profile::read_rss_bytes());
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(iter: usize, lane: Option<u64>) -> IterationRow {
+        IterationRow {
+            iter,
+            loss: iter as f32,
+            wl: 1.0,
+            vias: 1.0,
+            overflow: 0.5,
+            temperature: 1.0,
+            grad_norm: 0.1,
+            mem_rss: None,
+            lane,
+        }
+    }
+
+    #[test]
+    fn ticks_update_headline_and_ring() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        status_begin("train", 100, 1);
+        status_phase("train");
+        for i in 0..10 {
+            status_tick(&row(i, None));
+        }
+        crate::set_enabled(false);
+        let s = status_snapshot();
+        assert_eq!(s.job, "train");
+        assert_eq!(s.phase, "train");
+        assert_eq!(s.iter, 9);
+        assert_eq!(s.loss, 9.0);
+        assert_eq!(status_ring_jsonl().lines().count(), 10);
+        let json = status_json();
+        assert!(json.contains("\"job\":\"train\""));
+        assert!(json.contains("\"iter\":9"));
+    }
+
+    #[test]
+    fn headline_tracks_lane_zero_only() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        status_begin("train", 10, 2);
+        status_tick(&row(3, Some(0)));
+        status_tick(&row(3, Some(1)));
+        crate::set_enabled(false);
+        let s = status_snapshot();
+        assert_eq!(s.loss, 3.0);
+        assert_eq!(s.batch, 2);
+        assert_eq!(status_ring_jsonl().lines().count(), 2);
+    }
+
+    #[test]
+    fn ring_thins_by_stride_doubling() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        status_begin("train", 0, 1);
+        for i in 0..(RING_CAPACITY * 4) {
+            status_tick(&row(i, None));
+        }
+        crate::set_enabled(false);
+        let lines = status_ring_jsonl().lines().count();
+        assert!(lines < RING_CAPACITY, "ring unbounded: {lines}");
+        assert!(lines > RING_CAPACITY / 8, "ring over-thinned: {lines}");
+    }
+
+    #[test]
+    fn disabled_updates_are_dropped() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        status_begin("idle", 0, 1);
+        crate::set_enabled(false);
+        status_begin("train", 5, 1);
+        status_tick(&row(1, None));
+        assert_eq!(status_snapshot().job, "idle");
+        assert_eq!(status_ring_jsonl(), "");
+    }
+}

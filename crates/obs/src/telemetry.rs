@@ -43,6 +43,10 @@ pub struct IterationRow {
     /// Process resident set size in bytes; `None` (serialized as JSON
     /// `null`) when the platform cannot report RSS or sampling is off.
     pub mem_rss: Option<u64>,
+    /// Batch lane index for `--batch N` runs (`None`/`null` for
+    /// single-instance training). Rows from batched training interleave
+    /// lanes within each iteration; this field attributes each row.
+    pub lane: Option<u64>,
 }
 
 impl IterationRow {
@@ -57,11 +61,12 @@ impl IterationRow {
         o.field_f32("temperature", self.temperature);
         o.field_f32("grad_norm", self.grad_norm);
         o.field_opt_u64("mem_rss", self.mem_rss);
+        o.field_opt_u64("lane", self.lane);
         o.finish()
     }
 
     /// The schema keys, in serialization order (used by validators).
-    pub const KEYS: [&'static str; 8] = [
+    pub const KEYS: [&'static str; 9] = [
         "iter",
         "loss",
         "wl",
@@ -70,6 +75,7 @@ impl IterationRow {
         "temperature",
         "grad_norm",
         "mem_rss",
+        "lane",
     ];
 }
 
@@ -154,6 +160,7 @@ mod tests {
             temperature: 1.0,
             grad_norm: 3.5,
             mem_rss: Some(4096),
+            lane: None,
         }
     }
 
@@ -168,15 +175,22 @@ mod tests {
         }
         assert_eq!(
             json,
-            r#"{"iter":7,"loss":10.5,"wl":8,"vias":2,"overflow":0.25,"temperature":1,"grad_norm":3.5,"mem_rss":4096}"#
+            r#"{"iter":7,"loss":10.5,"wl":8,"vias":2,"overflow":0.25,"temperature":1,"grad_norm":3.5,"mem_rss":4096,"lane":null}"#
         );
+    }
+
+    #[test]
+    fn batched_rows_carry_their_lane() {
+        let mut r = row(0);
+        r.lane = Some(2);
+        assert!(r.to_json().ends_with("\"lane\":2}"));
     }
 
     #[test]
     fn unsampled_rss_serializes_as_null() {
         let mut r = row(0);
         r.mem_rss = None;
-        assert!(r.to_json().ends_with("\"mem_rss\":null}"));
+        assert!(r.to_json().contains("\"mem_rss\":null"));
     }
 
     #[test]

@@ -128,6 +128,7 @@ fn cli_route_emits_trace_and_telemetry_files() {
 
     let iters = 40;
     let out = std::process::Command::new(env!("CARGO_BIN_EXE_dgr"))
+        .env("DGR_LEDGER", "off") // keep CLI tests off the real ledger
         .args([
             "route",
             design_path.to_str().unwrap(),
@@ -187,6 +188,7 @@ fn cli_route_progress_line_appears_without_quiet() {
     let design_path = dir.join("design.txt");
     std::fs::write(&design_path, dgr::io::write_design(&small_design(4))).unwrap();
     let out = std::process::Command::new(env!("CARGO_BIN_EXE_dgr"))
+        .env("DGR_LEDGER", "off")
         .args([
             "route",
             design_path.to_str().unwrap(),

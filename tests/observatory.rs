@@ -1,0 +1,393 @@
+//! Observatory integration tests: the live HTTP exporter answering
+//! mid-run, the sampling profiler's collapsed-stack output, the
+//! persistent run ledger driving `dgr history` / `dgr compare --ledger`,
+//! Prometheus text-exposition grammar, and the Chrome trace round-trip
+//! through `obs::parse`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use dgr::grid::Design;
+use dgr::io::{IspdLikeConfig, IspdLikeGenerator};
+use dgr::obs::ledger;
+
+/// In-process tests share the global obs registries; serialize them.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn small_design(seed: u64) -> Design {
+    IspdLikeGenerator::new(IspdLikeConfig {
+        width: 24,
+        height: 24,
+        num_nets: 80,
+        num_layers: 5,
+        seed,
+        ..IspdLikeConfig::default()
+    })
+    .generate()
+    .expect("valid config")
+}
+
+fn write_design(dir: &std::path::Path, seed: u64) -> std::path::PathBuf {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("design.txt");
+    std::fs::write(&path, dgr::io::write_design(&small_design(seed))).unwrap();
+    path
+}
+
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to observatory");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// `--serve` answers `/metrics` and `/status` while the run iterates.
+#[test]
+fn serve_endpoints_answer_during_a_live_run() {
+    let dir = std::env::temp_dir().join("dgr_observatory_serve_test");
+    let design_path = write_design(&dir, 9);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dgr"))
+        .env("DGR_LEDGER", "off")
+        .args([
+            "route",
+            design_path.to_str().unwrap(),
+            "--iterations",
+            "5000",
+            "--quiet",
+            "--serve",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dgr");
+
+    // the banner line names the bound address (port 0 → OS-assigned)
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let mut seen = Vec::new();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(rest) = line.strip_prefix("observatory: http://") {
+                    break rest.split('/').next().unwrap_or("").to_string();
+                }
+                seen.push(line);
+            }
+            _ => panic!(
+                "dgr exited before announcing the observatory address; stderr so far:\n{}",
+                seen.join("\n")
+            ),
+        }
+    };
+
+    // the RSS gauge is seeded before the listener comes up, so the very
+    // first scrape already carries a family; poll briefly anyway in case
+    // the accept loop is still warming up
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let metrics = loop {
+        let (status, metrics) = http_get(&addr, "/metrics");
+        assert_eq!(status, 200, "/metrics status");
+        if metrics.contains("# TYPE dgr_") || std::time::Instant::now() > deadline {
+            break metrics;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        metrics.contains("# TYPE dgr_"),
+        "no typed dgr_ metric families:\n{metrics}"
+    );
+
+    let (status, body) = http_get(&addr, "/status");
+    assert_eq!(status, 200, "/status status");
+    assert!(body.contains("\"job\":\"route\""), "status json:\n{body}");
+    for key in ["\"phase\":", "\"iter\":", "\"total_iters\":", "\"rss\":"] {
+        assert!(body.contains(key), "status json missing {key}:\n{body}");
+    }
+
+    let (status, _) = http_get(&addr, "/nope");
+    assert_eq!(status, 404);
+
+    child.kill().expect("kill dgr");
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--profile` writes a non-empty collapsed-stack file whose frames name
+/// real pipeline phases, and the file round-trips through the parser.
+#[test]
+fn cli_profile_writes_collapsed_stacks_naming_real_phases() {
+    let dir = std::env::temp_dir().join("dgr_observatory_profile_test");
+    let design_path = write_design(&dir, 5);
+    let folded_path = dir.join("out.folded");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dgr"))
+        .env("DGR_LEDGER", "off")
+        .args([
+            "route",
+            design_path.to_str().unwrap(),
+            "--iterations",
+            "90",
+            "--quiet",
+            "--profile",
+            folded_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn dgr");
+    assert!(
+        out.status.success(),
+        "dgr route --profile failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("profile →"), "no profile line:\n{stdout}");
+
+    let text = std::fs::read_to_string(&folded_path).expect("folded file written");
+    assert!(!text.trim().is_empty(), "folded profile is empty");
+    for line in text.lines() {
+        let (_stack, count) = line.rsplit_once(' ').expect("`stack count` shape");
+        count.parse::<u64>().expect("count is an integer");
+    }
+
+    let profile = dgr::obs::FoldedProfile::parse(&text);
+    assert!(profile.samples > 0, "no samples recorded");
+    assert!(profile.busy_samples() > 0, "profiler saw no open spans");
+    let phases = ["route", "train", "forward", "backward", "extract"];
+    let hot = profile.hot_frames();
+    assert!(
+        hot.iter()
+            .any(|(frame, _)| phases.iter().any(|p| frame == p)),
+        "no real phase among hot frames: {hot:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two identical runs append two verifiable, comparable ledger records;
+/// `dgr history` renders both plus the per-phase delta block, and
+/// `dgr compare --ledger` diffs them.
+#[test]
+fn ledger_accumulates_runs_and_history_renders_deltas() {
+    let dir = std::env::temp_dir().join("dgr_observatory_ledger_test");
+    let design_path = write_design(&dir, 3);
+    let ledger_path = dir.join("ledger.jsonl");
+    let _ = std::fs::remove_file(&ledger_path);
+
+    for _ in 0..2 {
+        let out = Command::new(env!("CARGO_BIN_EXE_dgr"))
+            .env("DGR_LEDGER", &ledger_path)
+            .args([
+                "route",
+                design_path.to_str().unwrap(),
+                "--iterations",
+                "40",
+                "--quiet",
+            ])
+            .output()
+            .expect("spawn dgr");
+        assert!(
+            out.status.success(),
+            "dgr route failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains("ledger           : appended"),
+            "no ledger confirmation line"
+        );
+    }
+
+    let records = ledger::load(&ledger_path);
+    assert_eq!(records.len(), 2, "two runs → two ledger records");
+    for r in &records {
+        assert!(r.verify(), "record failed hash verification");
+        assert_eq!(r.cmd, "route");
+        assert_eq!(r.design, "design");
+        assert_eq!(r.iterations, 40);
+        assert!(r.phases.contains_key("train"), "phases: {:?}", r.phases);
+        assert!(r.it_per_s > 0.0);
+    }
+    assert_eq!(
+        records[0].config_fp, records[1].config_fp,
+        "identical runs must be comparable"
+    );
+    // the routed result is deterministic, so the quality metrics agree
+    assert_eq!(records[0].wirelength, records[1].wirelength);
+    assert_eq!(records[0].loss, records[1].loss);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dgr"))
+        .env("DGR_LEDGER", &ledger_path)
+        .args(["history"])
+        .output()
+        .expect("spawn dgr history");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let table_rows = stdout
+        .lines()
+        .filter(|l| l.starts_with("20") && l.contains(" route "))
+        .count();
+    assert_eq!(table_rows, 2, "history must list both runs:\n{stdout}");
+    assert!(
+        stdout.contains("delta vs previous comparable run"),
+        "missing delta block:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("phase train"),
+        "missing per-phase delta:\n{stdout}"
+    );
+    assert!(stdout.contains("2 record(s)"), "record count:\n{stdout}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_dgr"))
+        .env("DGR_LEDGER", &ledger_path)
+        .args(["compare", "--ledger"])
+        .output()
+        .expect("spawn dgr compare --ledger");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("comparing the last two `route` runs"),
+        "compare --ledger:\n{stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `/metrics` payload obeys the Prometheus text exposition format:
+/// typed families, legal metric names, numeric sample values, cumulative
+/// histogram buckets capped by `+Inf`.
+#[test]
+fn prometheus_text_follows_the_exposition_grammar() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    dgr::obs::set_enabled(true);
+    dgr::obs::counter("observatory.test.requests").add(7);
+    dgr::obs::gauge("observatory.test.depth").set(3.5);
+    let h = dgr::obs::histogram("observatory.test.latency");
+    for v in [0, 1, 3, 200, 131071] {
+        h.record(v);
+    }
+    let text = dgr::obs::prometheus_text();
+    dgr::obs::set_enabled(false);
+
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+
+    let mut families: Vec<String> = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            assert!(name_ok(name), "bad family name: {line}");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "bad family type: {line}"
+            );
+            families.push(name.to_string());
+            continue;
+        }
+        assert!(!line.is_empty(), "blank line in exposition");
+        let (series, value) = line.rsplit_once(' ').expect("`series value` shape");
+        let name = series.split('{').next().unwrap();
+        assert!(name_ok(name), "bad metric name: {line}");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "bad sample value: {line}"
+        );
+        assert!(
+            families.iter().any(|f| name == f
+                || name.strip_prefix(f.as_str()).is_some_and(
+                    |s| s.is_empty() || ["_bucket", "_sum", "_count", "_quantile"].contains(&s)
+                )),
+            "sample before its TYPE line: {line}"
+        );
+    }
+
+    // histogram specifics: cumulative buckets ending at +Inf == _count
+    let bucket_counts: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with("dgr_observatory_test_latency_bucket"))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+        .collect();
+    assert!(bucket_counts.len() >= 2, "want buckets:\n{text}");
+    assert!(
+        bucket_counts.windows(2).all(|w| w[0] <= w[1]),
+        "buckets must be cumulative: {bucket_counts:?}"
+    );
+    let count: u64 = text
+        .lines()
+        .find(|l| l.starts_with("dgr_observatory_test_latency_count"))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+        .expect("_count sample");
+    assert_eq!(*bucket_counts.last().unwrap(), count, "+Inf == _count");
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("dgr_observatory_test_latency_quantile{quantile=\"0.95\"}")),
+        "quantile gauge family missing:\n{text}"
+    );
+    assert!(
+        text.contains("dgr_observatory_test_requests 7"),
+        "counter sample:\n{text}"
+    );
+}
+
+/// The Chrome trace written by the span registry parses back through
+/// `obs::parse` as an array of complete events with the span names.
+#[test]
+fn chrome_trace_round_trips_through_obs_parse() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    dgr::obs::set_enabled(true);
+    {
+        let _outer = dgr::obs::span("observatory", "obs-roundtrip-outer");
+        let _inner = dgr::obs::span("observatory", "obs-roundtrip-inner");
+    }
+    let trace = dgr::obs::chrome_trace();
+    dgr::obs::set_enabled(false);
+
+    let value = dgr::obs::parse::parse_json(&trace).expect("trace is valid JSON");
+    let dgr::obs::parse::JsonValue::Arr(events) = value else {
+        panic!("trace must be a JSON array");
+    };
+    assert!(!events.is_empty());
+    let mut seen = Vec::new();
+    for e in &events {
+        let ph = e.str("ph").expect("event phase");
+        assert!(["X", "M"].contains(&ph), "unexpected phase {ph}");
+        if ph == "X" {
+            assert!(e.num("ts").is_some() && e.num("dur").is_some());
+        }
+        if let Some(name) = e.str("name") {
+            seen.push(name.to_string());
+        }
+    }
+    for needle in ["obs-roundtrip-outer", "obs-roundtrip-inner"] {
+        assert!(
+            seen.iter().any(|n| n == needle),
+            "span {needle} missing from trace"
+        );
+    }
+}

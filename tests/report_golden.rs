@@ -65,6 +65,7 @@ fn report_html() -> String {
         ),
         snapshots: Some(snap.sink.memory_contents().expect("in-memory").to_string()),
         trace: None,
+        profile: None,
     };
     render_report(&inputs).expect("report renders")
 }

@@ -76,6 +76,10 @@ pub enum DgrError {
     Grid(dgr_grid::GridError),
     /// The configuration is unusable (e.g. zero iterations).
     BadConfig(String),
+    /// The run was cancelled cooperatively (see [`RouteHooks::cancel`]):
+    /// the cancel flag was observed between training iterations or
+    /// pipeline phases and the run stopped without producing a solution.
+    Cancelled,
 }
 
 impl std::fmt::Display for DgrError {
@@ -85,6 +89,7 @@ impl std::fmt::Display for DgrError {
             DgrError::Dag(e) => write!(f, "forest construction failed: {e}"),
             DgrError::Grid(e) => write!(f, "grid operation failed: {e}"),
             DgrError::BadConfig(why) => write!(f, "bad configuration: {why}"),
+            DgrError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }
@@ -95,7 +100,7 @@ impl std::error::Error for DgrError {
             DgrError::Rsmt(e) => Some(e),
             DgrError::Dag(e) => Some(e),
             DgrError::Grid(e) => Some(e),
-            DgrError::BadConfig(_) => None,
+            DgrError::BadConfig(_) | DgrError::Cancelled => None,
         }
     }
 }
@@ -146,6 +151,21 @@ pub struct RouteHooks {
     pub progress: Option<ProgressConfig>,
     /// Skip RSS sampling in telemetry rows (determinism tests set this).
     pub skip_rss: bool,
+    /// Cooperative cancellation flag. When another thread sets it, the
+    /// training loop stops between iterations and
+    /// [`DgrRouter::route_with_hooks`] returns [`DgrError::Cancelled`]
+    /// instead of extracting a solution. `None` (the default) never
+    /// cancels.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl RouteHooks {
+    /// Whether the attached cancel flag (if any) has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+    }
 }
 
 /// The end-to-end differentiable global router.
@@ -197,6 +217,9 @@ impl DgrRouter {
     ) -> Result<RoutingSolution, DgrError> {
         let _route_span = dgr_obs::span("route", "route");
         self.config.validate()?;
+        if hooks.is_cancelled() {
+            return Err(DgrError::Cancelled);
+        }
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.seed);
         if let Some(s) = hooks.snap.as_mut() {
@@ -239,6 +262,9 @@ impl DgrRouter {
         let mut curve_acc: Vec<train::CurvePoint> = Vec::new();
 
         for round in 0..=self.config.adaptive_rounds {
+            if hooks.is_cancelled() {
+                return Err(DgrError::Cancelled);
+            }
             // 2. DAG forest (with any adaptive extras)
             let forest = {
                 let _s = dgr_obs::span("route", "forest");
@@ -275,8 +301,14 @@ impl DgrRouter {
                 progress: hooks.progress,
                 iter_offset,
                 skip_rss: hooks.skip_rss,
+                cancel: hooks.cancel.clone(),
             };
             let report = train_with_hooks(&mut model, &round_cfg, &mut rng, &mut train_hooks);
+            // a cancel raised mid-training stops the job here: no
+            // extraction, no partial solution escapes
+            if hooks.is_cancelled() {
+                return Err(DgrError::Cancelled);
+            }
             total_duration += report.duration;
             iter_offset += round_cfg.iterations;
             curve_acc.extend(report.curve.iter().copied());

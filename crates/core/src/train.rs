@@ -115,6 +115,18 @@ pub struct TrainHooks<'a> {
     /// Skip RSS sampling in telemetry rows (`mem_rss` stays `null`). RSS
     /// is inherently nondeterministic; the determinism tests disable it.
     pub skip_rss: bool,
+    /// Cooperative cancellation flag, checked once per iteration (one
+    /// relaxed load). When raised, the loop stops before the next
+    /// forward pass; the report covers the iterations that ran.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl TrainHooks<'_> {
+    fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+    }
 }
 
 /// Trains `model` in place per `cfg` and returns the report.
@@ -151,6 +163,9 @@ pub fn train_with_hooks(
     let mut rss_cache: Option<u64> = None;
 
     for it in 0..cfg.iterations {
+        if hooks.is_cancelled() {
+            break;
+        }
         let temp = cfg.temperature_at(it);
         model.graph.set_data(model.temperature, &[temp]);
         if cfg.gumbel_noise {
@@ -329,6 +344,9 @@ pub fn train_batched_with_hooks(
     let mut rss_cache: Option<u64> = None;
 
     for it in 0..cfg.iterations {
+        if hooks.is_cancelled() {
+            break;
+        }
         let temp = cfg.temperature_at(it);
         model.graph.data_mut(model.temperature).fill(temp);
         if cfg.gumbel_noise {

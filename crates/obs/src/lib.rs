@@ -70,7 +70,7 @@ pub use metrics::{
 };
 pub use profile::{FoldedProfile, Profiler, ProfilerConfig};
 pub use report::{render_report, ReportInputs};
-pub use serve::ObsServer;
+pub use serve::{HttpHandler, HttpRequest, HttpResponse, ObsServer, DEFAULT_MAX_BODY_BYTES};
 pub use snapshot::{
     AttributionRecord, NetShare, SnapshotHeader, SnapshotRecord, SnapshotSink, SnapshotStream,
 };
@@ -78,8 +78,9 @@ pub use span::{
     chrome_trace, reset_spans, span, span_totals, write_chrome_trace, SpanGuard, SpanTotal,
 };
 pub use status::{
-    status_begin, status_json, status_phase, status_queue_depth, status_snapshot, status_tick,
-    RunStatus,
+    status_begin, status_jobs, status_json, status_phase, status_queue_depth, status_remove,
+    status_ring_jsonl_of, status_scope, status_scope_id, status_snapshot, status_snapshot_of,
+    status_tick, RunStatus, StatusScope,
 };
 pub use telemetry::{IterationRow, TelemetrySink};
 

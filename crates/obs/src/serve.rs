@@ -1,24 +1,37 @@
-//! `--serve ADDR`: a tiny blocking HTTP/1.1 exporter over
+//! `--serve ADDR`: a tiny blocking HTTP/1.1 server over
 //! `std::net::TcpListener` — zero dependencies, hand-rolled request
 //! parsing, one thread.
 //!
-//! Endpoints:
+//! Built-in endpoints (always served):
 //!
 //! * `GET /metrics` — every registered obs metric in the Prometheus
 //!   text exposition format ([`crate::metrics::prometheus_text`]),
 //! * `GET /status` — the live run status as JSON
 //!   ([`crate::status::status_json`]): current job/phase/iteration,
 //!   loss, overflow, temperature, batch width, queue depth, RSS,
+//!   plus one row per registered status scope on multi-job daemons,
 //! * `GET /report` — the standard HTML post-mortem rendered from the
 //!   live telemetry ring and span registry *mid-run*,
 //! * `GET /` — a plain-text index of the above.
 //!
-//! The server is deliberately minimal: GET only, `Connection: close`
-//! on every response, one request per connection, 2-second socket
-//! timeouts. That is exactly enough for `curl`, Prometheus scrapers
-//! and the future `dgrd` daemon frontend, with nothing to keep alive
-//! or pool. Requests are served from the accept loop thread — a slow
-//! client cannot stall the training loop, only other scrapers.
+//! The server is deliberately minimal: `Connection: close` on every
+//! response, one request per connection, 2-second socket timeouts. That
+//! is exactly enough for `curl`, Prometheus scrapers and the `dgrd`
+//! daemon frontend, with nothing to keep alive or pool. Requests are
+//! served from the accept loop thread — a slow client cannot stall the
+//! training loop, only other scrapers.
+//!
+//! # Extension point
+//!
+//! [`ObsServer::start_with_handler`] installs an application handler
+//! consulted *before* the built-in routes: the `dgrd` job server mounts
+//! its `POST /jobs` / `GET /jobs/:id` / `DELETE /jobs/:id` endpoints
+//! this way instead of forking the listener. With a handler installed,
+//! non-GET methods are parsed (including a `Content-Length` body,
+//! bounded by the configured cap → `413`); without one the server stays
+//! GET-only exactly as before. Server-level failures (malformed head,
+//! oversized body, unrouted method) always answer with a structured
+//! JSON error body, so protocol clients never have to scrape prose.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -26,30 +39,133 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A running exporter. Keep the handle alive for the duration of the
+/// Default cap on request bodies accepted by [`ObsServer::start_with_handler`].
+pub const DEFAULT_MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// Cap on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request, handed to the application handler.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, `DELETE`, ...), uppercase as sent.
+    pub method: String,
+    /// Request path with any query string stripped.
+    pub path: String,
+    /// The request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A response produced by the application handler or the built-in routes.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: "application/json".into(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.into(),
+        }
+    }
+
+    /// An HTML response.
+    pub fn html(status: u16, body: impl Into<String>) -> Self {
+        HttpResponse {
+            status,
+            content_type: "text/html; charset=utf-8".into(),
+            body: body.into(),
+        }
+    }
+
+    /// The standard structured error body: `{"error":...,"status":N}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut o = crate::json::JsonObject::new();
+        o.field_str("error", message);
+        o.field_u64("status", u64::from(status));
+        let mut body = o.finish();
+        body.push('\n');
+        HttpResponse::json(status, body)
+    }
+}
+
+/// An application handler consulted before the built-in routes. Return
+/// `None` to fall through to `/metrics`, `/status`, `/report`, `/`.
+pub type HttpHandler = Arc<dyn Fn(&HttpRequest) -> Option<HttpResponse> + Send + Sync>;
+
+/// A running server. Keep the handle alive for the duration of the
 /// run; [`ObsServer::stop`] (or drop) shuts the listener down.
-#[derive(Debug)]
 pub struct ObsServer {
     addr: std::net::SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
 impl ObsServer {
     /// Binds `addr` (e.g. `127.0.0.1:9090`, or port 0 for an
-    /// OS-assigned port) and spawns the accept loop.
+    /// OS-assigned port) and spawns the accept loop serving only the
+    /// built-in GET endpoints.
     ///
     /// # Errors
     ///
     /// Propagates the bind error.
     pub fn start(addr: &str) -> std::io::Result<ObsServer> {
+        Self::start_inner(addr, None, DEFAULT_MAX_BODY_BYTES)
+    }
+
+    /// [`ObsServer::start`] with an application handler mounted in front
+    /// of the built-in routes. Non-GET requests are accepted and their
+    /// bodies read (bounded by `max_body_bytes` → `413 Payload Too
+    /// Large`); a non-GET request the handler declines answers `405`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    pub fn start_with_handler(
+        addr: &str,
+        handler: HttpHandler,
+        max_body_bytes: usize,
+    ) -> std::io::Result<ObsServer> {
+        Self::start_inner(addr, Some(handler), max_body_bytes)
+    }
+
+    fn start_inner(
+        addr: &str,
+        handler: Option<HttpHandler>,
+        max_body_bytes: usize,
+    ) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("dgr-serve".into())
-            .spawn(move || accept_loop(&listener, &stop2))?;
+            .spawn(move || accept_loop(&listener, &stop2, handler.as_ref(), max_body_bytes))?;
         Ok(ObsServer {
             addr,
             stop,
@@ -85,7 +201,12 @@ impl Drop for ObsServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    handler: Option<&HttpHandler>,
+    max_body_bytes: usize,
+) {
     loop {
         let Ok((stream, _)) = listener.accept() else {
             if stop.load(Ordering::Relaxed) {
@@ -97,82 +218,159 @@ fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
             return;
         }
         // per-connection errors (timeouts, resets) only drop that client
-        let _ = serve_connection(stream);
+        let _ = serve_connection(stream, handler, max_body_bytes);
     }
 }
 
-fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
+fn serve_connection(
+    mut stream: TcpStream,
+    handler: Option<&HttpHandler>,
+    max_body_bytes: usize,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let path = match read_request_path(&mut stream) {
-        Ok(p) => p,
-        Err(e) => {
-            let _ = write_response(
-                &mut stream,
-                400,
-                "text/plain",
-                &format!("bad request: {e}\n"),
-            );
-            return Ok(());
-        }
+    // without a handler the server is GET-only, bodies are never read
+    let allow_body = handler.is_some();
+    let request = match read_request(&mut stream, allow_body, max_body_bytes) {
+        Ok(r) => r,
+        Err(resp) => return write_response(&mut stream, &resp),
     };
-    let (status, content_type, body) = route(&path);
-    write_response(&mut stream, status, content_type, &body)
+    if let Some(handler) = handler {
+        if let Some(resp) = handler(&request) {
+            return write_response(&mut stream, &resp);
+        }
+        if request.method != "GET" {
+            return write_response(
+                &mut stream,
+                &HttpResponse::error(
+                    405,
+                    &format!("method {} not allowed on {}", request.method, request.path),
+                ),
+            );
+        }
+    }
+    let resp = route(&request.path);
+    write_response(&mut stream, &resp)
 }
 
-/// Reads the request head and returns the request-target path. Only
-/// `GET` is accepted; the body (none, for GET) and headers are
-/// discarded.
-fn read_request_path(stream: &mut TcpStream) -> Result<String, String> {
+/// Reads one request (head + optional `Content-Length` body). Errors are
+/// returned as ready-to-send structured responses.
+fn read_request(
+    stream: &mut TcpStream,
+    allow_body: bool,
+    max_body_bytes: usize,
+) -> Result<HttpRequest, HttpResponse> {
     let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 512];
+    let mut chunk = [0u8; 2048];
     // read until the blank line ending the head (or a sane cap)
-    while !head_complete(&buf) {
-        if buf.len() > 16 * 1024 {
-            return Err("request head too large".to_string());
+    let head_end = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
         }
-        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpResponse::error(400, "request head too large"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| HttpResponse::error(400, &format!("bad request: {e}")))?;
         if n == 0 {
-            break;
+            match head_end(&buf) {
+                Some(end) => break end,
+                None => return Err(HttpResponse::error(400, "truncated request head")),
+            }
         }
         buf.extend_from_slice(&chunk[..n]);
-    }
-    let head = String::from_utf8_lossy(&buf);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?;
-    let target = parts.next().ok_or("no request target")?;
-    if method != "GET" {
-        return Err(format!("method {method} not supported"));
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpResponse::error(400, "empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpResponse::error(400, "no request target"))?;
+    if !parts
+        .next()
+        .is_some_and(|version| version.starts_with("HTTP/"))
+    {
+        return Err(HttpResponse::error(400, "not an HTTP request line"));
     }
-    // strip any query string; the endpoints take no parameters
-    Ok(target.split('?').next().unwrap_or("/").to_string())
+    if !allow_body && method != "GET" {
+        return Err(HttpResponse::error(
+            400,
+            &format!("method {method} not supported"),
+        ));
+    }
+    let content_length = content_length(&head)
+        .map_err(|()| HttpResponse::error(400, "bad Content-Length header"))?;
+    let mut body = Vec::new();
+    if let Some(len) = content_length {
+        if len > max_body_bytes {
+            return Err(HttpResponse::error(
+                413,
+                &format!("request body of {len} bytes exceeds the {max_body_bytes} byte cap"),
+            ));
+        }
+        // bytes past the head already read into `buf` are body prefix
+        body.extend_from_slice(&buf[head_end.min(buf.len())..]);
+        while body.len() < len {
+            let n = stream
+                .read(&mut chunk)
+                .map_err(|e| HttpResponse::error(400, &format!("bad request body: {e}")))?;
+            if n == 0 {
+                return Err(HttpResponse::error(400, "truncated request body"));
+            }
+            body.extend_from_slice(&chunk[..n]);
+        }
+        body.truncate(len);
+    }
+    // strip any query string; no endpoint takes parameters
+    let path = target.split('?').next().unwrap_or("/").to_string();
+    Ok(HttpRequest { method, path, body })
 }
 
-fn head_complete(buf: &[u8]) -> bool {
-    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+/// Byte offset one past the blank line ending the head, if complete.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(i + 4);
+    }
+    buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2)
 }
 
-/// Maps a request path to `(status, content-type, body)`.
-fn route(path: &str) -> (u16, &'static str, String) {
+/// The `Content-Length` value, if any header carries one.
+fn content_length(head: &str) -> Result<Option<usize>, ()> {
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                return value.trim().parse::<usize>().map(Some).map_err(|_| ());
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Maps a GET path to the built-in endpoints.
+fn route(path: &str) -> HttpResponse {
     match path {
-        "/metrics" => (
-            200,
-            "text/plain; version=0.0.4; charset=utf-8",
-            crate::metrics::prometheus_text(),
-        ),
+        "/metrics" => HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+            body: crate::metrics::prometheus_text(),
+        },
         "/status" => {
             let mut body = crate::status::status_json();
             body.push('\n');
-            (200, "application/json", body)
+            HttpResponse::json(200, body)
         }
-        "/report" => (200, "text/html; charset=utf-8", live_report()),
-        "/" => (
+        "/report" => HttpResponse::html(200, live_report()),
+        "/" => HttpResponse::text(
             200,
-            "text/plain; charset=utf-8",
-            "dgr observatory\n\n/metrics  Prometheus text exposition\n/status   live run status (JSON)\n/report   HTML post-mortem of the run so far\n".to_string(),
+            "dgr observatory\n\n/metrics  Prometheus text exposition\n/status   live run status (JSON)\n/report   HTML post-mortem of the run so far\n",
         ),
-        _ => (404, "text/plain", format!("no such endpoint: {path}\n")),
+        _ => HttpResponse::error(404, &format!("no such endpoint: {path}")),
     }
 }
 
@@ -200,24 +398,31 @@ fn live_report() -> String {
     })
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let reason = match status {
+fn reason(status: u16) -> &'static str {
+    match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
         _ => "Error",
-    };
+    }
+}
+
+fn write_response(stream: &mut TcpStream, resp: &HttpResponse) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
     );
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(resp.body.as_bytes())?;
     stream.flush()
 }
 
@@ -226,10 +431,12 @@ mod tests {
     use super::*;
 
     fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+        raw(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    fn raw(addr: std::net::SocketAddr, request: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        stream
-            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
-            .unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         let status: u16 = response
@@ -266,8 +473,9 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("<html"), "{body}");
 
-        let (status, _) = get(addr, "/nope");
+        let (status, body) = get(addr, "/nope");
         assert_eq!(status, 404);
+        assert!(body.contains("\"error\""), "{body}");
 
         let (status, _) = get(addr, "/");
         assert_eq!(status, 200);
@@ -287,6 +495,61 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+        server.stop();
+    }
+
+    #[test]
+    fn handler_gets_posted_bodies_and_falls_through() {
+        let _guard = crate::test_lock();
+        let handler: HttpHandler = Arc::new(|req: &HttpRequest| {
+            (req.method == "POST" && req.path == "/echo")
+                .then(|| HttpResponse::text(202, String::from_utf8_lossy(&req.body).into_owned()))
+        });
+        let server = ObsServer::start_with_handler("127.0.0.1:0", handler, 64).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = raw(
+            addr,
+            "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert_eq!(status, 202);
+        assert_eq!(body, "hello");
+
+        // built-in routes still answer behind the handler
+        let (status, _) = get(addr, "/");
+        assert_eq!(status, 200);
+
+        // a non-GET the handler declines is 405, not a hang or a 400
+        let (status, body) = raw(
+            addr,
+            "PATCH /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n",
+        );
+        assert_eq!(status, 405);
+        assert!(body.contains("\"error\""), "{body}");
+
+        // an oversized body is refused with 413 before the handler runs
+        let (status, body) = raw(
+            addr,
+            "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: 9999\r\n\r\n",
+        );
+        assert_eq!(status, 413);
+        assert!(body.contains("\"error\""), "{body}");
+
+        server.stop();
+    }
+
+    #[test]
+    fn malformed_heads_get_structured_400() {
+        let _guard = crate::test_lock();
+        let handler: HttpHandler = Arc::new(|_| None);
+        let server = ObsServer::start_with_handler("127.0.0.1:0", handler, 64).unwrap();
+        let addr = server.local_addr();
+        let (status, body) = raw(addr, "GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+        assert_eq!(status, 400);
+        assert!(body.contains("\"error\""), "{body}");
+        // listener survives the malformed request
+        let (status, _) = get(addr, "/");
+        assert_eq!(status, 200);
         server.stop();
     }
 }

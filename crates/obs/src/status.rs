@@ -8,19 +8,34 @@
 //! [`crate::enabled`], so an uninstrumented run pays one relaxed load
 //! per call site and never touches the mutex.
 //!
-//! The ring is bounded at [`RING_CAPACITY`] rows by stride doubling:
-//! when full, every second retained row is dropped and the keep-stride
-//! doubles, so arbitrarily long runs keep an evenly thinned history
-//! (newest rows always land; resolution degrades gracefully).
+//! # Scopes (multi-job daemons)
+//!
+//! The registry is keyed by a **scope id** so several jobs can publish
+//! concurrently without overwriting each other (a `dgrd` daemon runs
+//! many tenants' jobs at once; last-writer-wins on one global row was a
+//! bug). Each thread carries a current scope id (default `0`, the
+//! one-shot CLI scope); [`status_scope`] switches it for the lifetime of
+//! the returned guard, and the pipeline's `status_begin` / `status_phase`
+//! / `status_tick` calls then land in that scope's row and ring.
+//! `/status` reports the caller's current scope at the top level
+//! (backwards compatible) plus one row per live scope under `"jobs"`.
+//! [`status_remove`] drops a scope when its job is evicted.
+//!
+//! Each scope's ring is bounded at [`RING_CAPACITY`] rows by stride
+//! doubling: when full, every second retained row is dropped and the
+//! keep-stride doubles, so arbitrarily long runs keep an evenly thinned
+//! history (newest rows always land; resolution degrades gracefully).
 
 use crate::json::JsonObject;
 use crate::telemetry::IterationRow;
+use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-/// Maximum telemetry rows retained for live report rendering.
+/// Maximum telemetry rows retained per scope for live report rendering.
 pub const RING_CAPACITY: usize = 2048;
 
-/// The queryable state of the current run.
+/// The queryable state of one run (one scope).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStatus {
     /// What the process is doing: `"route"`, `"train"`, `"idle"`...
@@ -44,10 +59,37 @@ pub struct RunStatus {
     pub queue_depth: u64,
 }
 
-struct Live {
+struct ScopeLive {
     status: RunStatus,
     ring: Vec<IterationRow>,
     stride: u64,
+}
+
+// Manual Default: a scope created lazily (tick before begin) still
+// needs stride 1, or the ring would thin everything but iteration 0.
+impl Default for ScopeLive {
+    fn default() -> Self {
+        ScopeLive::new()
+    }
+}
+
+impl ScopeLive {
+    fn new() -> Self {
+        ScopeLive {
+            status: RunStatus::default(),
+            ring: Vec::new(),
+            stride: 1,
+        }
+    }
+}
+
+struct Live {
+    scopes: BTreeMap<u64, ScopeLive>,
+}
+
+thread_local! {
+    /// The scope id status updates from this thread land in.
+    static SCOPE: Cell<u64> = const { Cell::new(0) };
 }
 
 fn live() -> MutexGuard<'static, Live> {
@@ -55,9 +97,7 @@ fn live() -> MutexGuard<'static, Live> {
     match LIVE
         .get_or_init(|| {
             Mutex::new(Live {
-                status: RunStatus::default(),
-                ring: Vec::new(),
-                stride: 1,
+                scopes: BTreeMap::new(),
             })
         })
         .lock()
@@ -67,96 +107,162 @@ fn live() -> MutexGuard<'static, Live> {
     }
 }
 
-/// Sets the job name and planned iteration total, clearing the previous
-/// run's ring and counters.
+fn scope_mut(l: &mut Live, id: u64) -> &mut ScopeLive {
+    l.scopes.entry(id).or_default()
+}
+
+/// The calling thread's current status scope id.
+pub fn status_scope_id() -> u64 {
+    SCOPE.with(Cell::get)
+}
+
+/// RAII guard restoring the previous scope id on drop.
+#[derive(Debug)]
+pub struct StatusScope {
+    prev: u64,
+}
+
+/// Switches the calling thread's status scope to `id` until the guard
+/// drops. Daemon workers wrap each job's pipeline run in one of these so
+/// the job's `status_begin`/`status_tick` traffic lands in its own row.
+#[must_use = "the scope reverts when the guard drops"]
+pub fn status_scope(id: u64) -> StatusScope {
+    let prev = SCOPE.with(|s| s.replace(id));
+    StatusScope { prev }
+}
+
+impl Drop for StatusScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        SCOPE.with(|s| s.set(prev));
+    }
+}
+
+/// Sets the job name and planned iteration total for the current scope,
+/// clearing that scope's previous ring and counters.
 pub fn status_begin(job: &str, total_iters: u64, batch: u64) {
     if !crate::enabled() {
         return;
     }
+    let id = status_scope_id();
     let mut l = live();
-    l.status = RunStatus {
+    let s = scope_mut(&mut l, id);
+    s.status = RunStatus {
         job: job.to_string(),
         phase: String::new(),
         total_iters,
         batch: batch.max(1),
         ..RunStatus::default()
     };
-    l.ring.clear();
-    l.stride = 1;
+    s.ring.clear();
+    s.stride = 1;
 }
 
-/// Sets the current pipeline phase.
+/// Sets the current pipeline phase of the current scope.
 pub fn status_phase(phase: &str) {
     if !crate::enabled() {
         return;
     }
+    let id = status_scope_id();
     let mut l = live();
-    if l.status.phase != phase {
-        l.status.phase.clear();
-        l.status.phase.push_str(phase);
+    let s = scope_mut(&mut l, id);
+    if s.status.phase != phase {
+        s.status.phase.clear();
+        s.status.phase.push_str(phase);
     }
 }
 
-/// Publishes one iteration's headline numbers and appends the row to the
-/// live telemetry ring. Lane-tagged rows from batched runs all land in
-/// the ring; the headline numbers track lane 0 (or untagged rows).
+/// Publishes one iteration's headline numbers into the current scope and
+/// appends the row to its telemetry ring. Lane-tagged rows from batched
+/// runs all land in the ring; the headline numbers track lane 0 (or
+/// untagged rows).
 pub fn status_tick(row: &IterationRow) {
     if !crate::enabled() {
         return;
     }
+    let id = status_scope_id();
     let mut l = live();
+    let s = scope_mut(&mut l, id);
     if row.lane.unwrap_or(0) == 0 {
-        l.status.iter = row.iter as u64;
-        l.status.loss = row.loss;
-        l.status.overflow = row.overflow;
-        l.status.temperature = row.temperature;
+        s.status.iter = row.iter as u64;
+        s.status.loss = row.loss;
+        s.status.overflow = row.overflow;
+        s.status.temperature = row.temperature;
     }
-    let stride = l.stride;
+    let stride = s.stride;
     if (row.iter as u64).is_multiple_of(stride) {
-        l.ring.push(*row);
-        if l.ring.len() >= RING_CAPACITY {
+        s.ring.push(*row);
+        if s.ring.len() >= RING_CAPACITY {
             // thin to every second retained row; newer rows keep landing
             // at the doubled stride
             let mut keep = 0usize;
-            for i in (0..l.ring.len()).step_by(2) {
-                l.ring[keep] = l.ring[i];
+            for i in (0..s.ring.len()).step_by(2) {
+                s.ring[keep] = s.ring[i];
                 keep += 1;
             }
-            l.ring.truncate(keep);
-            l.stride = stride.saturating_mul(2);
+            s.ring.truncate(keep);
+            s.stride = stride.saturating_mul(2);
         }
     }
 }
 
-/// Publishes the worker-pool queue depth (jobs in flight).
+/// Publishes the worker-pool queue depth (jobs in flight) into the
+/// current scope.
 pub fn status_queue_depth(depth: u64) {
     if !crate::enabled() {
         return;
     }
-    live().status.queue_depth = depth;
+    let id = status_scope_id();
+    let mut l = live();
+    scope_mut(&mut l, id).status.queue_depth = depth;
 }
 
-/// A copy of the current status.
+/// A copy of the current scope's status.
 pub fn status_snapshot() -> RunStatus {
-    live().status.clone()
+    status_snapshot_of(status_scope_id()).unwrap_or_default()
 }
 
-/// The retained telemetry rows as JSONL text (live `/report` input).
+/// A copy of scope `id`'s status, if that scope exists.
+pub fn status_snapshot_of(id: u64) -> Option<RunStatus> {
+    live().scopes.get(&id).map(|s| s.status.clone())
+}
+
+/// `(scope id, status)` for every live scope, ascending by id.
+pub fn status_jobs() -> Vec<(u64, RunStatus)> {
+    live()
+        .scopes
+        .iter()
+        .map(|(&id, s)| (id, s.status.clone()))
+        .collect()
+}
+
+/// Drops scope `id` from the registry (job evicted from a daemon's
+/// table). Removing a missing scope is a no-op.
+pub fn status_remove(id: u64) {
+    live().scopes.remove(&id);
+}
+
+/// The current scope's retained telemetry rows as JSONL text (live
+/// `/report` input).
 pub fn status_ring_jsonl() -> String {
+    status_ring_jsonl_of(status_scope_id())
+}
+
+/// Scope `id`'s retained telemetry rows as JSONL text (empty for an
+/// unknown scope).
+pub fn status_ring_jsonl_of(id: u64) -> String {
     let l = live();
     let mut out = String::new();
-    for row in &l.ring {
-        out.push_str(&row.to_json());
-        out.push('\n');
+    if let Some(s) = l.scopes.get(&id) {
+        for row in &s.ring {
+            out.push_str(&row.to_json());
+            out.push('\n');
+        }
     }
     out
 }
 
-/// The `/status` JSON payload: the [`RunStatus`] fields plus the current
-/// process RSS in bytes (`rss` is `null` when unmeasurable).
-pub fn status_json() -> String {
-    let s = status_snapshot();
-    let mut o = JsonObject::new();
+fn push_status_fields(o: &mut JsonObject, s: &RunStatus) {
     o.field_str("job", &s.job);
     o.field_str("phase", &s.phase);
     o.field_u64("iter", s.iter);
@@ -166,7 +272,32 @@ pub fn status_json() -> String {
     o.field_f32("temperature", s.temperature);
     o.field_u64("batch", s.batch);
     o.field_u64("queue_depth", s.queue_depth);
+}
+
+/// The `/status` JSON payload: the serving thread's scope fields at the
+/// top level (plus the current process RSS in bytes; `rss` is `null`
+/// when unmeasurable), and one row per live scope under `"jobs"` so a
+/// multi-job daemon reports every run instead of last-writer-wins.
+pub fn status_json() -> String {
+    let current = status_scope_id();
+    let l = live();
+    let mut o = JsonObject::new();
+    let own = l.scopes.get(&current).map(|s| s.status.clone());
+    push_status_fields(&mut o, &own.unwrap_or_default());
     o.field_opt_u64("rss", crate::profile::read_rss_bytes());
+    let mut jobs = String::from("[");
+    for (i, (&id, s)) in l.scopes.iter().enumerate() {
+        if i > 0 {
+            jobs.push(',');
+        }
+        let mut row = JsonObject::new();
+        row.field_u64("id", id);
+        push_status_fields(&mut row, &s.status);
+        row.field_u64("ring_rows", s.ring.len() as u64);
+        jobs.push_str(&row.finish());
+    }
+    jobs.push(']');
+    o.field_raw("jobs", &jobs);
     o.finish()
 }
 
@@ -207,6 +338,7 @@ mod tests {
         let json = status_json();
         assert!(json.contains("\"job\":\"train\""));
         assert!(json.contains("\"iter\":9"));
+        assert!(json.contains("\"jobs\":["));
     }
 
     #[test]
@@ -247,5 +379,60 @@ mod tests {
         status_tick(&row(1, None));
         assert_eq!(status_snapshot().job, "idle");
         assert_eq!(status_ring_jsonl(), "");
+    }
+
+    #[test]
+    fn scopes_isolate_concurrent_jobs() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        status_begin("cli", 10, 1);
+        {
+            let _scope = status_scope(71);
+            status_begin("job-71", 500, 1);
+            status_phase("train");
+            status_tick(&row(4, None));
+        }
+        {
+            let _scope = status_scope(72);
+            status_begin("job-72", 200, 1);
+            status_phase("extract");
+        }
+        crate::set_enabled(false);
+
+        // the default scope row was not clobbered by either job
+        assert_eq!(status_snapshot().job, "cli");
+        let s71 = status_snapshot_of(71).unwrap();
+        assert_eq!(s71.job, "job-71");
+        assert_eq!(s71.iter, 4);
+        assert_eq!(status_snapshot_of(72).unwrap().phase, "extract");
+        assert_eq!(status_ring_jsonl_of(71).lines().count(), 1);
+        assert_eq!(status_ring_jsonl_of(72), "");
+
+        let ids: Vec<u64> = status_jobs().iter().map(|(id, _)| *id).collect();
+        assert!(ids.contains(&71) && ids.contains(&72), "{ids:?}");
+        let json = status_json();
+        assert!(json.contains("\"job\":\"cli\""), "{json}");
+        assert!(json.contains("\"job-71\""), "{json}");
+        assert!(json.contains("\"job-72\""), "{json}");
+
+        status_remove(71);
+        status_remove(72);
+        assert!(status_snapshot_of(71).is_none());
+    }
+
+    #[test]
+    fn scope_guard_restores_previous_scope() {
+        let _guard = crate::test_lock();
+        assert_eq!(status_scope_id(), 0);
+        {
+            let _a = status_scope(5);
+            assert_eq!(status_scope_id(), 5);
+            {
+                let _b = status_scope(9);
+                assert_eq!(status_scope_id(), 9);
+            }
+            assert_eq!(status_scope_id(), 5);
+        }
+        assert_eq!(status_scope_id(), 0);
     }
 }

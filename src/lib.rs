@@ -16,6 +16,7 @@
 //! * [`post`] — layer assignment, maze refinement, routing guides
 //! * [`io`] — benchmark generation and design serialization
 //! * [`obs`] — tracing spans, metrics, and training telemetry
+//! * [`daemon`] — `dgrd`, the long-lived multi-tenant routing job server
 //!
 //! # Examples
 //!
@@ -41,6 +42,7 @@
 pub use dgr_autodiff as autodiff;
 pub use dgr_baseline as baseline;
 pub use dgr_core as core;
+pub use dgr_daemon as daemon;
 pub use dgr_dag as dag;
 pub use dgr_grid as grid;
 pub use dgr_io as io;

@@ -14,6 +14,8 @@
 //! dgr history [--limit N]                       # the persistent run ledger
 //! dgr report [--telemetry in.jsonl] [--snap in.snaps] [--trace in.json]
 //!            [--profile in.folded] [--title NAME] [--out report.html]
+//! dgr serve-jobs <addr> [--workers N] [--queue-cap N] [--retain N]
+//!            [--no-ledger]                  # dgrd: the routing job server
 //! ```
 //!
 //! `--trace` turns on the `dgr-obs` span registry and writes a Chrome
@@ -67,6 +69,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
+        Some("serve-jobs") => cmd_serve_jobs(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -111,6 +114,11 @@ fn print_usage() {
     println!("  dgr report [--telemetry in.jsonl] [--snap in.snaps] [--trace in.json]");
     println!("             [--profile in.folded] [--title NAME] [--out report.html]");
     println!("      render routing-run artifacts into a self-contained HTML post-mortem");
+    println!("  dgr serve-jobs <addr> [--workers N] [--queue-cap N] [--retain N]");
+    println!("             [--no-ledger]");
+    println!("      run dgrd: a multi-tenant routing job server (POST /jobs, ");
+    println!("      GET /jobs/:id[/report|/telemetry|/guide], DELETE /jobs/:id,");
+    println!("      plus the /metrics /status /report observability routes)");
     println!();
     println!("observability:");
     println!("  --trace out.json      record phase spans, write a Chrome trace-event file");
@@ -165,6 +173,41 @@ fn cmd_generate(args: &[String]) -> CliResult {
         None => print!("{text}"),
     }
     Ok(())
+}
+
+/// `dgr serve-jobs`: boot `dgrd` and serve routing jobs until killed.
+fn cmd_serve_jobs(args: &[String]) -> CliResult {
+    let addr = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && !is_flag_operand(args, *i))
+        .map(|(_, a)| a.as_str())
+        .ok_or("serve-jobs needs a listen address (e.g. 127.0.0.1:7878)")?;
+    let mut cfg = dgr::daemon::DaemonConfig::default();
+    if let Some(v) = flag_value(args, "--workers") {
+        cfg.workers = v.parse()?;
+    }
+    if let Some(v) = flag_value(args, "--queue-cap") {
+        cfg.queue_capacity = v.parse()?;
+    }
+    if let Some(v) = flag_value(args, "--retain") {
+        cfg.retain_jobs = v.parse()?;
+    }
+    cfg.ledger = !args.iter().any(|a| a == "--no-ledger");
+    // the daemon is an observability surface by nature: metrics, per-job
+    // status scopes and reports are always on
+    dgr::obs::reset();
+    dgr::obs::set_enabled(true);
+    let rss = dgr::obs::profile::read_rss_bytes().unwrap_or(0);
+    dgr::obs::gauge("process.rss_bytes").set(rss as f64);
+    let daemon = dgr::daemon::Daemon::start(addr, cfg)?;
+    eprintln!(
+        "dgrd: http://{}/  (POST /jobs, GET|DELETE /jobs/:id, /metrics /status)",
+        daemon.local_addr()
+    );
+    loop {
+        std::thread::park();
+    }
 }
 
 /// Flags that take no operand — anything after them can be the design
@@ -618,6 +661,7 @@ fn cmd_train(args: &[String]) -> CliResult {
         progress: (!args.iter().any(|a| a == "--quiet")).then(ProgressConfig::default),
         iter_offset: 0,
         skip_rss: false,
+        cancel: None,
     };
     let reports = train_batched_with_hooks(&mut model, &cfg, &mut rngs, &mut hooks);
 

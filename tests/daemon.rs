@@ -1,0 +1,280 @@
+//! End-to-end `dgrd` tests: boot the daemon on an ephemeral port, drive
+//! it with real HTTP clients from multiple threads, and hold it to the
+//! CLI's determinism contract — a daemon-routed job must produce a route
+//! guide byte-identical to a one-shot `dgr route` of the same
+//! design/config, even with concurrent jobs in flight.
+
+mod common;
+
+use std::process::Command;
+use std::time::Duration;
+
+use common::*;
+use dgr::daemon::{Daemon, DaemonConfig};
+use dgr::grid::Design;
+use dgr::io::{IspdLikeConfig, IspdLikeGenerator};
+use dgr::obs::parse::JsonValue;
+
+fn small_design(seed: u64) -> Design {
+    IspdLikeGenerator::new(IspdLikeConfig {
+        width: 24,
+        height: 24,
+        num_nets: 80,
+        num_layers: 5,
+        seed,
+        ..IspdLikeConfig::default()
+    })
+    .generate()
+    .expect("valid config")
+}
+
+fn boot(cfg: DaemonConfig) -> Daemon {
+    Daemon::start("127.0.0.1:0", cfg).expect("daemon binds an ephemeral port")
+}
+
+fn inline_spec(design_text: &str, label: &str, iterations: u32, seed: u64) -> String {
+    let escaped = design_text
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    format!(
+        r#"{{"design_text":"{escaped}","label":"{label}","tenant":"e2e","iterations":{iterations},"seed":{seed}}}"#
+    )
+}
+
+/// One-shot CLI route of the same design/config; returns the guide bytes.
+fn cli_guide(design_text: &str, iterations: u32, seed: u64, tag: &str) -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("dgr_daemon_cli_{tag}_{seed}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let design_path = dir.join("design.txt");
+    let guide_path = dir.join("out.guide");
+    std::fs::write(&design_path, design_text).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_dgr"))
+        .env("DGR_LEDGER", "off")
+        .args([
+            "route",
+            design_path.to_str().unwrap(),
+            "--iterations",
+            &iterations.to_string(),
+            "--seed",
+            &seed.to_string(),
+            "--guide",
+            guide_path.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("run dgr route");
+    assert!(
+        out.status.success(),
+        "cli route failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::read(&guide_path).expect("cli guide written")
+}
+
+/// Three concurrent jobs from client threads run to `done` with full
+/// lifecycle records, and two of their guides byte-match one-shot CLI
+/// runs of the same config.
+#[test]
+fn concurrent_jobs_match_the_cli_byte_for_byte() {
+    let daemon = boot(DaemonConfig {
+        workers: 3,
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.local_addr();
+
+    const ITERS: u32 = 30;
+    let designs: Vec<(u64, String)> = [11u64, 12, 13]
+        .iter()
+        .map(|&seed| (seed, dgr::io::write_design(&small_design(seed))))
+        .collect();
+
+    // submit from three real client threads
+    let ids: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = designs
+            .iter()
+            .map(|(seed, text)| {
+                s.spawn(move || {
+                    submit_job(
+                        addr,
+                        &inline_spec(text, &format!("e2e-{seed}"), ITERS, *seed),
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (&id, (seed, _)) in ids.iter().zip(&designs) {
+        let job = wait_state(addr, id, "done", Duration::from_secs(120));
+        assert_eq!(job.get("tenant").and_then(JsonValue::as_str), Some("e2e"));
+        assert_eq!(job.get("seed").and_then(JsonValue::as_u64), Some(*seed));
+        assert!(job
+            .get("submitted_unix_ms")
+            .and_then(JsonValue::as_u64)
+            .is_some());
+        assert!(job
+            .get("started_unix_ms")
+            .and_then(JsonValue::as_u64)
+            .is_some());
+        assert!(job
+            .get("finished_unix_ms")
+            .and_then(JsonValue::as_u64)
+            .is_some());
+        let _ = run_seq_of(&job);
+        let result = job.get("result").expect("done job has a result");
+        assert!(
+            result
+                .get("wirelength")
+                .and_then(JsonValue::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert!(
+            result
+                .get("guide_boxes")
+                .and_then(JsonValue::as_u64)
+                .unwrap()
+                > 0
+        );
+        let phases = result.get("phases_ms").expect("per-phase totals");
+        for phase in ["train", "forward", "backward", "refine", "assign"] {
+            assert!(phases.get(phase).is_some(), "missing phase {phase}");
+        }
+
+        // per-job artifacts
+        let telemetry = get(addr, &format!("/jobs/{id}/telemetry"));
+        assert_eq!(telemetry.status, 200);
+        assert!(
+            telemetry.body.lines().count() >= 1,
+            "telemetry rows for job {id}"
+        );
+        let report = get(addr, &format!("/jobs/{id}/report"));
+        assert_eq!(report.status, 200);
+        assert!(report.body.contains("<html"), "report is HTML");
+    }
+
+    // byte-compare two of the daemon guides against one-shot CLI runs
+    for (&id, (seed, text)) in ids.iter().zip(&designs).take(2) {
+        let daemon_guide = get(addr, &format!("/jobs/{id}/guide"));
+        assert_eq!(daemon_guide.status, 200);
+        let cli = cli_guide(text, ITERS, *seed, "bytecmp");
+        assert_eq!(
+            daemon_guide.body.as_bytes(),
+            cli.as_slice(),
+            "daemon guide for seed {seed} differs from the one-shot CLI guide"
+        );
+    }
+
+    // the job-scoped status registry reports every job
+    let status = get(addr, "/status");
+    assert_eq!(status.status, 200);
+    let jobs = status
+        .json()
+        .get("jobs")
+        .and_then(JsonValue::as_arr)
+        .map(<[JsonValue]>::to_vec)
+        .unwrap_or_default();
+    for &id in &ids {
+        assert!(
+            jobs.iter()
+                .any(|j| j.get("id").and_then(JsonValue::as_u64) == Some(id)),
+            "/status is missing a row for job {id}"
+        );
+    }
+
+    daemon.stop();
+}
+
+/// Cancelling a running job mid-train leaves the queue healthy: the
+/// waiting job still runs to completion and new submissions land.
+#[test]
+fn cancellation_mid_run_leaves_the_queue_healthy() {
+    let daemon = boot(DaemonConfig {
+        workers: 1,
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.local_addr();
+    let text = dgr::io::write_design(&small_design(21));
+
+    // a job long enough to be cancelled mid-run, plus one waiting behind it
+    let blocker = submit_job(addr, &inline_spec(&text, "blocker", 500_000, 1));
+    let waiting = submit_job(addr, &inline_spec(&text, "waiting", 10, 2));
+    wait_state(addr, blocker, "running", Duration::from_secs(60));
+
+    let resp = delete(addr, &format!("/jobs/{blocker}"));
+    assert_eq!(resp.status, 202, "cancel of a running job: {}", resp.body);
+    let job = wait_state(addr, blocker, "cancelled", Duration::from_secs(60));
+    assert_eq!(
+        job.get("cancel_requested")
+            .map(|v| matches!(v, JsonValue::Bool(true))),
+        Some(true)
+    );
+    assert!(job.get("result").is_none(), "cancelled job has no result");
+
+    // the queue drains normally afterwards
+    let job = wait_state(addr, waiting, "done", Duration::from_secs(120));
+    assert!(job.get("result").is_some());
+
+    let after = submit_job(addr, &inline_spec(&text, "after", 10, 3));
+    wait_state(addr, after, "done", Duration::from_secs(120));
+
+    // cancelling a *queued* job removes it without running it
+    let blocker2 = submit_job(addr, &inline_spec(&text, "blocker2", 500_000, 4));
+    let queued = submit_job(addr, &inline_spec(&text, "queued", 10, 5));
+    wait_state(addr, blocker2, "running", Duration::from_secs(60));
+    let resp = delete(addr, &format!("/jobs/{queued}"));
+    assert_eq!(
+        resp.status, 200,
+        "queued-job cancel is immediate: {}",
+        resp.body
+    );
+    let job = wait_state(addr, queued, "cancelled", Duration::from_secs(10));
+    assert!(job
+        .get("started_unix_ms")
+        .and_then(JsonValue::as_u64)
+        .is_none());
+    let resp = delete(addr, &format!("/jobs/{blocker2}"));
+    assert_eq!(resp.status, 202);
+    wait_state(addr, blocker2, "cancelled", Duration::from_secs(60));
+
+    daemon.stop();
+}
+
+/// The `dgr serve-jobs` binary boots, prints its address banner, serves
+/// a catalog job end to end, and dies cleanly.
+#[test]
+fn serve_jobs_cli_smoke() {
+    use std::io::BufRead;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dgr"))
+        .env("DGR_LEDGER", "off")
+        .args(["serve-jobs", "127.0.0.1:0", "--workers", "1"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn dgr serve-jobs");
+
+    let stderr = child.stderr.take().unwrap();
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let banner = lines.next().expect("banner line").expect("banner readable");
+    let addr: std::net::SocketAddr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|s| s.split('/').next())
+        .expect("banner has an address")
+        .parse()
+        .expect("banner address parses");
+
+    let id = submit_job(
+        addr,
+        r#"{"design_catalog":"ispd18_test1","fast":true,"iterations":8,"seed":1,"tenant":"smoke"}"#,
+    );
+    let job = wait_state(addr, id, "done", Duration::from_secs(120));
+    assert!(job.get("result").is_some());
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+
+    child.kill().expect("kill serve-jobs");
+    let _ = child.wait();
+}

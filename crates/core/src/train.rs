@@ -238,6 +238,7 @@ pub fn train_with_hooks(
                 sink.record(&row);
             }
             dgr_obs::status_tick(&row);
+            dgr_obs::sentinel_tick(&row);
         }
         {
             let _s = dgr_obs::span("train", "adam");
@@ -431,6 +432,7 @@ pub fn train_batched_with_hooks(
                     sink.record(&row);
                 }
                 dgr_obs::status_tick(&row);
+                dgr_obs::sentinel_tick(&row);
             }
         }
         {

@@ -10,10 +10,14 @@
 //! | `GET /jobs/{id}/report` | per-job HTML post-mortem |
 //! | `GET /jobs/{id}/telemetry` | per-job training telemetry (JSONL) |
 //! | `GET /jobs/{id}/guide` | route-guide text of a finished job |
+//! | `GET /health` | overall + per-job sentinel convergence verdicts |
 //!
 //! Every other path falls through to the built-in observability routes
-//! (`/metrics`, `/status`, `/report`, `/`). All errors are structured:
-//! a 4xx status plus `{"error": ..., "status": N}` JSON.
+//! (`/metrics`, `/status`, `/report`, `/`). The daemon's `/health`
+//! shadows the obs built-in so its rows can join job metadata (label,
+//! tenant, state, watchdog errors) onto the sentinel verdicts. All
+//! errors are structured: a 4xx status plus `{"error": ..., "status":
+//! N}` JSON.
 
 use std::sync::Arc;
 
@@ -64,6 +68,7 @@ fn handle(jobs: &JobServer, req: &HttpRequest) -> Option<HttpResponse> {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/jobs") => Some(post_job(jobs, &req.body)),
         ("GET", "/jobs") => Some(list_jobs(jobs)),
+        ("GET", "/health") => Some(health(jobs)),
         (method, path) => {
             let rest = path.strip_prefix("/jobs/")?;
             let (id_text, sub) = match rest.split_once('/') {
@@ -129,6 +134,48 @@ fn list_jobs(jobs: &JobServer) -> HttpResponse {
     HttpResponse::json(200, body + "\n")
 }
 
+/// `GET /health`: sentinel verdicts joined onto job metadata. One row
+/// per table-resident job; the overall verdict is the worst row's
+/// (watchdog-failed jobs report `critical` even if no analytic rule
+/// tripped before the cancel landed).
+fn health(jobs: &JobServer) -> HttpResponse {
+    let body = jobs.with_table(|t| {
+        let mut overall = dgr_obs::Verdict::Ok;
+        let rows: Vec<String> = t
+            .jobs()
+            .map(|j| {
+                let watchdog_failed = j
+                    .error
+                    .as_deref()
+                    .is_some_and(|e| e.starts_with("watchdog: "));
+                let mut verdict = dgr_obs::health_of(j.id).map_or(dgr_obs::Verdict::Ok, |h| h.0);
+                if watchdog_failed {
+                    verdict = dgr_obs::Verdict::Critical;
+                }
+                overall = overall.max(verdict);
+                let findings = dgr_obs::health_summary_of(j.id);
+                let mut o = JsonObject::new();
+                o.field_u64("id", j.id);
+                o.field_str("label", &j.spec.label);
+                o.field_str("tenant", &j.spec.tenant);
+                o.field_str("state", j.state.as_str());
+                o.field_str("verdict", verdict.as_str());
+                o.field_str("findings", &findings);
+                if let Some(e) = &j.error {
+                    o.field_str("error", e);
+                }
+                o.finish()
+            })
+            .collect();
+        let mut o = JsonObject::new();
+        o.field_str("verdict", overall.as_str());
+        o.field_u64("jobs", rows.len() as u64);
+        o.field_raw("rows", &format!("[{}]", rows.join(",")));
+        o.finish()
+    });
+    HttpResponse::json(200, body + "\n")
+}
+
 fn job_json(jobs: &JobServer, id: u64) -> HttpResponse {
     match jobs.with_job(id, render_job) {
         Some(body) => HttpResponse::json(200, body + "\n"),
@@ -145,6 +192,9 @@ fn render_job(j: &Job) -> String {
     o.field_raw("priority", &j.spec.priority.to_string());
     o.field_opt_u64("iterations", j.spec.iterations.map(|i| i as u64));
     o.field_opt_u64("seed", j.spec.seed);
+    o.field_opt_u64("deadline_ms", j.spec.deadline_ms);
+    o.field_opt_u64("max_stall_iters", j.spec.max_stall_iters);
+    o.field_str("health", &dgr_obs::health_summary_of(j.id));
     o.field_u64("submitted_unix_ms", j.submitted_unix_ms);
     o.field_opt_u64("started_unix_ms", j.started_unix_ms);
     o.field_opt_u64("finished_unix_ms", j.finished_unix_ms);
@@ -230,12 +280,14 @@ fn job_report(jobs: &JobServer, id: u64) -> HttpResponse {
     let label = jobs
         .with_job(id, |j| j.spec.label.clone())
         .unwrap_or_default();
+    let health = dgr_obs::health_of(id).map(|_| dgr_obs::health_timeline_jsonl_of(id));
     let inputs = ReportInputs {
         title: format!("job {id} — {label}"),
         telemetry: (!telemetry.is_empty()).then_some(telemetry),
         snapshots: None,
         trace: None,
         profile: None,
+        health,
     };
     match render_report(&inputs) {
         Ok(html) => HttpResponse::html(200, html),
@@ -313,6 +365,12 @@ mod tests {
         let (status, _) = request(addr, "GET /jobs/nope", "");
         assert_eq!(status, 404);
 
+        // the daemon /health shadows the obs built-in with job rows
+        let (status, body) = request(addr, "GET /health", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"verdict\""), "{body}");
+        assert!(body.contains("\"rows\""), "{body}");
+
         daemon.stop();
     }
 
@@ -331,6 +389,8 @@ mod tests {
                 seed: None,
                 design: DesignSource::Text("garbage".into()),
                 want_guide: true,
+                deadline_ms: None,
+                max_stall_iters: None,
             })
             .unwrap();
         assert!(server.wait_terminal(id, std::time::Duration::from_secs(30)));

@@ -360,6 +360,23 @@ impl JobTable {
         evicted
     }
 
+    /// Jobs per lifecycle state, in `(queued, running, done, failed,
+    /// cancelled)` order — the source for the `dgrd_jobs_*` gauges.
+    pub fn state_counts(&self) -> [u64; 5] {
+        let mut counts = [0u64; 5];
+        for job in self.jobs.values() {
+            let slot = match job.state {
+                JobState::Queued => 0,
+                JobState::Running => 1,
+                JobState::Done => 2,
+                JobState::Failed => 3,
+                JobState::Cancelled => 4,
+            };
+            counts[slot] += 1;
+        }
+        counts
+    }
+
     /// Structural invariants; the proptest suite calls this after every
     /// operation. Panics with a description on violation.
     pub fn check_invariants(&self) {
@@ -452,7 +469,22 @@ mod tests {
             seed: None,
             design: DesignSource::Text(String::new()),
             want_guide: false,
+            deadline_ms: None,
+            max_stall_iters: None,
         }
+    }
+
+    #[test]
+    fn state_counts_track_transitions() {
+        let mut t = JobTable::new(8, 8);
+        let a = t.submit(spec(0)).unwrap();
+        let b = t.submit(spec(0)).unwrap();
+        assert_eq!(t.state_counts(), [2, 0, 0, 0, 0]);
+        t.claim().unwrap();
+        assert_eq!(t.state_counts(), [1, 1, 0, 0, 0]);
+        t.finish(a, Ok(JobResult::default()), None, false);
+        t.cancel(b).unwrap();
+        assert_eq!(t.state_counts(), [0, 0, 1, 0, 1]);
     }
 
     #[test]

@@ -87,6 +87,7 @@ impl JobServer {
             shutdown: AtomicBool::new(false),
             cfg,
         });
+        publish_queue_gauges(&inner.lock());
         let mut handles = Vec::new();
         for i in 0..inner.cfg.workers.max(1) {
             let inner = Arc::clone(&inner);
@@ -110,14 +111,22 @@ impl JobServer {
 
     /// Admits a job and wakes a worker; `Err` is queue backpressure.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
-        let id = self.inner.lock().submit(spec)?;
+        let id = {
+            let mut table = self.inner.lock();
+            let id = table.submit(spec)?;
+            publish_queue_gauges(&table);
+            id
+        };
         self.inner.work.notify_one();
         Ok(id)
     }
 
     /// Requests cancellation (see [`JobTable::cancel`] for semantics).
     pub fn cancel(&self, id: JobId) -> Result<CancelOutcome, CancelError> {
-        self.inner.lock().cancel(id)
+        let mut table = self.inner.lock();
+        let out = table.cancel(id)?;
+        publish_queue_gauges(&table);
+        Ok(out)
     }
 
     /// Runs `f` against the job record under the table lock; `None` for
@@ -188,11 +197,22 @@ fn worker_loop(inner: &Inner) {
                 }
                 if let Some(id) = table.claim() {
                     let job = table.get(id).expect("claimed job exists");
+                    publish_queue_gauges(&table);
                     break (id, job.spec.clone(), Arc::clone(&job.cancel));
                 }
                 table = inner.work.wait(table).unwrap_or_else(|p| p.into_inner());
             }
         };
+
+        // Arm the sentinel SLO watchdog before the run so the deadline
+        // clock covers design materialization too; a breach raises the
+        // same cooperative-cancel flag a client cancel would.
+        dgr_obs::watchdog_arm(
+            id,
+            Arc::clone(&cancel),
+            spec.deadline_ms,
+            spec.max_stall_iters,
+        );
 
         // run it under a job-scoped status registry entry
         let run = {
@@ -200,15 +220,45 @@ fn worker_loop(inner: &Inner) {
             run_job(&spec, &cancel, inner.cfg.ledger)
         };
 
+        // A cooperative stop triggered by the watchdog (not a client
+        // cancel) is a structured failure, not a cancellation: the job
+        // broke its SLO and the reason says which rule and by how much.
+        let watchdog_reason = if run.cancelled {
+            dgr_obs::watchdog_breach(id)
+        } else {
+            None
+        };
+
         let mut table = inner.lock();
-        table.finish(id, run.result, run.telemetry, run.cancelled);
+        match watchdog_reason {
+            Some(reason) => table.finish(id, Err(reason), run.telemetry, false),
+            None => table.finish(id, run.result, run.telemetry, run.cancelled),
+        }
         let evicted = table.evict();
+        publish_queue_gauges(&table);
         drop(table);
         for old in evicted {
             dgr_obs::status_remove(old);
+            dgr_obs::sentinel_remove(old);
         }
         inner.work.notify_all();
     }
+}
+
+/// Mirrors the table's lifecycle counts onto `/metrics` gauges
+/// (`dgrd_jobs_queued`, `dgrd_jobs_running`, … and `dgrd_queue_capacity`).
+/// Called under the table lock at every state transition.
+fn publish_queue_gauges(table: &JobTable) {
+    if !dgr_obs::enabled() {
+        return;
+    }
+    let [queued, running, done, failed, cancelled] = table.state_counts();
+    dgr_obs::gauge("dgrd.jobs.queued").set(queued as f64);
+    dgr_obs::gauge("dgrd.jobs.running").set(running as f64);
+    dgr_obs::gauge("dgrd.jobs.done").set(done as f64);
+    dgr_obs::gauge("dgrd.jobs.failed").set(failed as f64);
+    dgr_obs::gauge("dgrd.jobs.cancelled").set(cancelled as f64);
+    dgr_obs::gauge("dgrd.queue.capacity").set(table.capacity() as f64);
 }
 
 struct RunOutput {
@@ -419,6 +469,7 @@ fn append_job_ledger(spec: &JobSpec, design: &Design, cfg: &DgrConfig, r: &JobRe
         cache_hits: dgr_obs::counter("rsmt.cache.hits").get(),
         cache_misses: dgr_obs::counter("rsmt.cache.misses").get(),
         phases: r.phases.clone(),
+        health: Some(dgr_obs::health_summary_of(dgr_obs::status_scope_id())),
     };
     let _ = ledger::append(&record);
 }
@@ -449,6 +500,8 @@ mod tests {
             seed: Some(1),
             design: DesignSource::Text(tiny_design_text()),
             want_guide: true,
+            deadline_ms: None,
+            max_stall_iters: None,
         }
     }
 
@@ -473,6 +526,35 @@ mod tests {
                     .is_some_and(|t| t.contains("\"iter\"")));
                 assert!(j.run_seq.is_some());
             })
+            .unwrap();
+        server.stop();
+    }
+
+    #[test]
+    fn watchdog_breach_fails_the_job_with_a_structured_reason() {
+        let server = JobServer::start(DaemonConfig {
+            workers: 1,
+            ..DaemonConfig::default()
+        });
+        let mut spec = quick_spec(600);
+        spec.deadline_ms = Some(1);
+        let id = server.submit(spec).unwrap();
+        assert!(server.wait_terminal(id, Duration::from_secs(60)));
+        server
+            .with_job(id, |j| {
+                assert_eq!(j.state, JobState::Failed, "error: {:?}", j.error);
+                let err = j.error.as_deref().unwrap();
+                assert!(err.starts_with("watchdog: "), "error was {err:?}");
+                assert!(err.contains("deadline_ms=1"), "error was {err:?}");
+                // the watchdog, not a client, raised the cancel flag
+                assert!(!j.cancel_requested);
+            })
+            .unwrap();
+        // the breach left the queue healthy: a follow-up job still runs
+        let next = server.submit(quick_spec(2)).unwrap();
+        assert!(server.wait_terminal(next, Duration::from_secs(60)));
+        server
+            .with_job(next, |j| assert_eq!(j.state, JobState::Done))
             .unwrap();
         server.stop();
     }

@@ -13,9 +13,16 @@
 //!   "label": "smoke",            // optional display label
 //!   "tenant": "ci",              // optional tenant tag (default "anon")
 //!   "priority": 2,               // optional; higher runs first (default 0)
-//!   "guide": true                // optional; keep the route guide (default true)
+//!   "guide": true,               // optional; keep the route guide (default true)
+//!   "deadline_ms": 60000,        // optional SLO: cancel after this wall-clock budget
+//!   "max_stall_iters": 500       // optional SLO: cancel after this many iterations
+//!                                //   without a relative loss improvement
 //! }
 //! ```
+//!
+//! The two SLO keys arm the sentinel watchdog (`dgr_obs::sentinel`): a
+//! breach raises the job's cooperative-cancel flag and the job finishes
+//! `failed` with a structured `watchdog: …` error.
 //!
 //! The other design sources are `"design_text"` (inline netlist in the
 //! `dgr-io` text format) and `"design_path"` (server-side file path).
@@ -56,6 +63,12 @@ pub struct JobSpec {
     pub design: DesignSource,
     /// Whether to keep the route-guide text on the finished job.
     pub want_guide: bool,
+    /// SLO: wall-clock budget in milliseconds; the sentinel watchdog
+    /// cancels the run once exceeded (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+    /// SLO: iteration budget without a relative loss improvement before
+    /// the watchdog cancels the run (`None` = no stall limit).
+    pub max_stall_iters: Option<u64>,
 }
 
 /// A structured spec rejection (maps to HTTP 400).
@@ -81,6 +94,8 @@ const KNOWN_KEYS: &[&str] = &[
     "design_catalog",
     "fast",
     "guide",
+    "deadline_ms",
+    "max_stall_iters",
 ];
 
 impl JobSpec {
@@ -136,6 +151,14 @@ impl JobSpec {
             None => None,
         };
         let seed = opt_u64(&v, "seed")?;
+        let deadline_ms = match opt_u64(&v, "deadline_ms")? {
+            Some(0) => return Err(SpecError("`deadline_ms` must be at least 1".into())),
+            other => other,
+        };
+        let max_stall_iters = match opt_u64(&v, "max_stall_iters")? {
+            Some(0) => return Err(SpecError("`max_stall_iters` must be at least 1".into())),
+            other => other,
+        };
         let priority = match v.get("priority") {
             None | Some(JsonValue::Null) => 0,
             Some(JsonValue::Num(n)) if n.fract() == 0.0 && n.abs() <= i64::MAX as f64 => *n as i64,
@@ -156,6 +179,8 @@ impl JobSpec {
             seed,
             design,
             want_guide,
+            deadline_ms,
+            max_stall_iters,
         })
     }
 }
@@ -240,6 +265,17 @@ mod tests {
         assert_eq!(s.priority, 0);
         assert_eq!(s.iterations, None);
         assert!(s.want_guide);
+        assert_eq!(s.deadline_ms, None);
+        assert_eq!(s.max_stall_iters, None);
+    }
+
+    #[test]
+    fn slo_keys_parse() {
+        let s =
+            JobSpec::from_json(r#"{"design_text":"x","deadline_ms":60000,"max_stall_iters":500}"#)
+                .unwrap();
+        assert_eq!(s.deadline_ms, Some(60_000));
+        assert_eq!(s.max_stall_iters, Some(500));
     }
 
     #[test]
@@ -253,6 +289,13 @@ mod tests {
             (r#"{"design_text":"x","fast":true}"#, "`fast` only applies"),
             (r#"{"design_text":"x","iterations":0}"#, "at least 1"),
             (r#"{"design_text":"x","iterations":-3}"#, "non-negative"),
+            (r#"{"design_text":"x","deadline_ms":0}"#, "at least 1"),
+            (r#"{"design_text":"x","deadline_ms":-1}"#, "non-negative"),
+            (r#"{"design_text":"x","max_stall_iters":0}"#, "at least 1"),
+            (
+                r#"{"design_text":"x","max_stall_iters":"soon"}"#,
+                "non-negative",
+            ),
             (r#"{"design_text":"x","priority":1.5}"#, "integer"),
             (r#"{"design_text":"x","guide":"yes"}"#, "boolean"),
             (r#"{"design_text":7}"#, "must be a string"),

@@ -21,6 +21,8 @@ fn spec(priority: i64) -> JobSpec {
         seed: None,
         design: DesignSource::Text(String::new()),
         want_guide: false,
+        deadline_ms: None,
+        max_stall_iters: None,
     }
 }
 

@@ -73,6 +73,10 @@ pub struct LedgerRecord {
     /// Inclusive per-phase span totals, milliseconds (`forward`,
     /// `backward`, `extract`, ...).
     pub phases: BTreeMap<String, f64>,
+    /// Sentinel health summary: `"ok"` or a comma-joined `rule@iter`
+    /// list, worst first. `None` on records written before the field
+    /// existed — omitted from the body so old hashes keep verifying.
+    pub health: Option<String>,
 }
 
 impl LedgerRecord {
@@ -103,6 +107,9 @@ impl LedgerRecord {
             phases.field_f64(name, *ms);
         }
         o.field_raw("phases", &phases.finish());
+        if let Some(health) = &self.health {
+            o.field_str("health", health);
+        }
         o.finish()
     }
 
@@ -166,6 +173,7 @@ impl LedgerRecord {
             cache_hits: u("cache_hits"),
             cache_misses: u("cache_misses"),
             phases,
+            health: v.str("health").map(str::to_string),
         })
     }
 }
@@ -202,20 +210,37 @@ pub fn ledger_path() -> Option<PathBuf> {
 
 /// Appends `record` to the ledger, creating parent directories as
 /// needed. Returns the path written, or `None` when the ledger is
-/// disabled or the write failed (appends are best-effort by contract).
+/// disabled or the write failed. Appends stay best-effort by contract —
+/// a read-only home must never fail a routing run — but the *first*
+/// failure in a process warns on stderr with the path and error, so a
+/// silently unwritable ledger is at least visible once.
 pub fn append(record: &LedgerRecord) -> Option<PathBuf> {
     let path = ledger_path()?;
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).ok()?;
+    let attempt = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        writeln!(file, "{}", record.to_json())
+    };
+    match attempt() {
+        Ok(()) => Some(path),
+        Err(e) => {
+            static WARNED: std::sync::atomic::AtomicBool =
+                std::sync::atomic::AtomicBool::new(false);
+            if !WARNED.swap(true, std::sync::atomic::Ordering::Relaxed) {
+                eprintln!(
+                    "warning: ledger append to {} failed ({e}); further failures stay silent",
+                    path.display()
+                );
+            }
+            None
+        }
     }
-    use std::io::Write;
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .ok()?;
-    writeln!(file, "{}", record.to_json()).ok()?;
-    Some(path)
 }
 
 /// Loads every parseable record from the ledger at `path`, oldest
@@ -276,6 +301,7 @@ mod tests {
             cache_hits: 1,
             cache_misses: 808,
             phases,
+            health: None,
         }
     }
 
@@ -315,6 +341,28 @@ mod tests {
         let good = record(5).to_json();
         let text = format!("{good}\nnot json at all\n{good}\n");
         assert_eq!(parse(&text).len(), 2);
+    }
+
+    #[test]
+    fn health_field_round_trips_and_stays_hash_compatible() {
+        // a record without health serializes exactly as before the field
+        let plain = record(2).to_json();
+        assert!(!plain.contains("\"health\""));
+        assert!(parse(&plain).len() == 1, "pre-health records still verify");
+        // with health set, it's hashed, persisted and re-read
+        let mut rec = record(2);
+        rec.health = Some("divergence@80,oscillation@95".to_string());
+        let line = rec.to_json();
+        assert!(line.contains("\"health\":\"divergence@80"));
+        let loaded = parse(&line);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(
+            loaded[0].health.as_deref(),
+            Some("divergence@80,oscillation@95")
+        );
+        // tampering with health breaks the hash like any other field
+        let tampered = line.replace("divergence", "divergonce");
+        assert!(parse(&tampered).is_empty());
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod parse;
 pub mod profile;
 pub mod report;
+pub mod sentinel;
 pub mod serve;
 pub mod snapshot;
 pub mod span;
@@ -70,6 +71,12 @@ pub use metrics::{
 };
 pub use profile::{FoldedProfile, Profiler, ProfilerConfig};
 pub use report::{render_report, ReportInputs};
+pub use sentinel::{
+    analyze_rows, health_json, health_of, health_summary_of, health_timeline_jsonl_of,
+    rank_findings, rate_collapse_finding, reset_sentinel, rows_from_jsonl, sentinel_remove,
+    sentinel_tick, verdict_of, watchdog_arm, watchdog_breach, Finding, RuleEngine, Severity,
+    Verdict,
+};
 pub use serve::{HttpHandler, HttpRequest, HttpResponse, ObsServer, DEFAULT_MAX_BODY_BYTES};
 pub use snapshot::{
     AttributionRecord, NetShare, SnapshotHeader, SnapshotRecord, SnapshotSink, SnapshotStream,
@@ -102,11 +109,13 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
 }
 
-/// Clears all recorded spans and zeroes all metrics (registrations
-/// survive). Tests and repeated CLI commands use this between runs.
+/// Clears all recorded spans, zeroes all metrics (registrations
+/// survive), and drops all sentinel health state. Tests and repeated
+/// CLI commands use this between runs.
 pub fn reset() {
     reset_spans();
     reset_metrics();
+    reset_sentinel();
 }
 
 /// Serializes tests that toggle the global [`enabled`] flag (they would

@@ -338,12 +338,17 @@ pub fn prometheus_text() -> String {
                 out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
                 out.push_str(&format!("{name}_sum {}\n", h.sum()));
                 out.push_str(&format!("{name}_count {}\n", h.count()));
-                out.push_str(&format!("# TYPE {name}_quantile gauge\n"));
-                for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
-                    out.push_str(&format!(
-                        "{name}_quantile{{quantile=\"{label}\"}} {}\n",
-                        h.quantile(q)
-                    ));
+                // the quantile family appears only once samples exist —
+                // an empty histogram rendering `0` is indistinguishable
+                // from a real zero-latency reading
+                if h.count() > 0 {
+                    out.push_str(&format!("# TYPE {name}_quantile gauge\n"));
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        out.push_str(&format!(
+                            "{name}_quantile{{quantile=\"{label}\"}} {}\n",
+                            h.quantile(q)
+                        ));
+                    }
                 }
             }
         }
@@ -353,10 +358,14 @@ pub fn prometheus_text() -> String {
 
 /// `rsmt.cache.hits` → `dgr_rsmt_cache_hits`: prefixed, and every
 /// character outside `[a-zA-Z0-9_:]` replaced by `_` per the Prometheus
-/// metric-name grammar.
+/// metric-name grammar. Names already namespaced under the daemon
+/// (`dgrd.…`) are not double-prefixed: `dgrd.jobs.queued` exposes as
+/// `dgrd_jobs_queued`.
 fn prometheus_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 4);
-    out.push_str("dgr_");
+    if !name.starts_with("dgrd") {
+        out.push_str("dgr_");
+    }
     for ch in name.chars() {
         if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
             out.push(ch);
@@ -531,6 +540,32 @@ mod tests {
         assert!(text.contains("dgr_test_prom_hist_quantile{quantile=\"0.99\"}"));
         h.reset();
         counter("test.prom.counter").0.store(0, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn empty_histogram_omits_the_quantile_family() {
+        let _guard = crate::test_lock();
+        let h = histogram("test.prom.hist-unsampled");
+        h.reset();
+        let text = prometheus_text();
+        assert!(
+            !text.contains("dgr_test_prom_hist_unsampled_quantile"),
+            "no quantile gauges before the first sample:\n{text}"
+        );
+        // the histogram family itself still advertises its existence
+        assert!(text.contains("# TYPE dgr_test_prom_hist_unsampled histogram\n"));
+        assert!(text.contains("dgr_test_prom_hist_unsampled_count 0\n"));
+    }
+
+    #[test]
+    fn daemon_metrics_skip_the_dgr_prefix() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        gauge("dgrd.jobs.queued").set(3.0);
+        crate::set_enabled(false);
+        let text = prometheus_text();
+        assert!(text.contains("dgrd_jobs_queued 3\n"), "{text}");
+        assert!(!text.contains("dgr_dgrd_jobs_queued"), "{text}");
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub struct ReportInputs {
     /// profiles are opt-in (`--profile`), so reports rendered without
     /// one stay byte-identical to pre-profiler reports.
     pub profile: Option<String>,
+    /// Sentinel health-finding JSONL
+    /// ([`crate::sentinel::health_timeline_jsonl_of`] output). Renders
+    /// a health-timeline annotation band plus the ranked finding table;
+    /// like `profile`, the section only appears when the input is
+    /// present, so pre-sentinel reports stay byte-identical.
+    pub health: Option<String>,
 }
 
 /// Renders the post-mortem HTML document.
@@ -77,6 +83,9 @@ pub fn render_report(inputs: &ReportInputs) -> Result<String, String> {
     render_spans(&mut html, spans.as_deref());
     if let Some(folded) = &inputs.profile {
         render_profile(&mut html, &crate::profile::FoldedProfile::parse(folded));
+    }
+    if let Some(health) = &inputs.health {
+        render_health(&mut html, health)?;
     }
 
     html.push_str("</body>\n</html>\n");
@@ -650,6 +659,133 @@ fn render_profile(html: &mut String, profile: &crate::profile::FoldedProfile) {
 }
 
 // ---------------------------------------------------------------------------
+// sentinel health band
+// ---------------------------------------------------------------------------
+
+/// One parsed sentinel finding (the fields the band renders).
+#[derive(Debug, Clone, PartialEq)]
+struct HealthRow {
+    rule: String,
+    severity: String,
+    iter: u64,
+    message: String,
+    window_start: u64,
+    window_end: u64,
+}
+
+fn parse_health(text: &str) -> Result<Vec<HealthRow>, String> {
+    let values =
+        crate::parse::parse_jsonl(text).map_err(|(line, e)| format!("health: line {line}: {e}"))?;
+    Ok(values
+        .iter()
+        .map(|v| HealthRow {
+            rule: v.str("rule").unwrap_or("?").to_string(),
+            severity: v.str("severity").unwrap_or("warn").to_string(),
+            iter: v
+                .get("iter")
+                .and_then(crate::parse::JsonValue::as_u64)
+                .unwrap_or(0),
+            message: v.str("message").unwrap_or("").to_string(),
+            window_start: v
+                .get("window_start")
+                .and_then(crate::parse::JsonValue::as_u64)
+                .unwrap_or(0),
+            window_end: v
+                .get("window_end")
+                .and_then(crate::parse::JsonValue::as_u64)
+                .unwrap_or(0),
+        })
+        .collect())
+}
+
+/// Renders the sentinel health section: a timeline annotation band (one
+/// colored span per finding's evidence window over the iteration axis)
+/// plus the ranked finding table. Only called when a health input is
+/// present; a run with no findings renders an explicit all-clear.
+fn render_health(html: &mut String, text: &str) -> Result<(), String> {
+    html.push_str("<h2>Convergence health</h2>\n");
+    let rows = parse_health(text)?;
+    if rows.is_empty() {
+        html.push_str("<p class=\"note\">All sentinel rules passed — no findings.</p>\n");
+        return Ok(());
+    }
+    let max_iter = rows
+        .iter()
+        .map(|r| r.window_end.max(r.iter))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    // annotation band: iteration axis with one span per evidence window
+    const W: f64 = 720.0;
+    const LANE_H: f64 = 16.0;
+    let h = 24.0 + rows.len() as f64 * LANE_H;
+    let _ = write!(
+        html,
+        "<figure><svg class=\"healthband\" width=\"{W}\" height=\"{h}\" \
+         viewBox=\"0 0 {W} {h}\" xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">"
+    );
+    let px = |it: u64| 4.0 + it as f64 / max_iter as f64 * (W - 8.0);
+    let _ = write!(
+        html,
+        "<line x1=\"4\" y1=\"{0:.1}\" x2=\"{1:.1}\" y2=\"{0:.1}\" stroke=\"#bbb\"/>",
+        h - 14.0,
+        W - 4.0
+    );
+    let _ = write!(
+        html,
+        "<text x=\"4\" y=\"{:.1}\" font-size=\"9\" fill=\"#555\">iter 0</text>\
+         <text x=\"{:.1}\" y=\"{0:.1}\" font-size=\"9\" fill=\"#555\" \
+         text-anchor=\"end\">iter {max_iter}</text>",
+        h - 2.0,
+        W - 4.0
+    );
+    for (lane, r) in rows.iter().enumerate() {
+        let color = if r.severity == "critical" {
+            "#b13a3a"
+        } else {
+            "#d98e2b"
+        };
+        let x0 = px(r.window_start);
+        let x1 = px(r.window_end.max(r.window_start)).max(x0 + 2.0);
+        let y = 4.0 + lane as f64 * LANE_H;
+        let _ = write!(
+            html,
+            "<rect x=\"{x0:.1}\" y=\"{y:.1}\" width=\"{:.1}\" height=\"10\" \
+             fill=\"{color}\" fill-opacity=\"0.75\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"9\" fill=\"#333\">{}</text>",
+            x1 - x0,
+            x1 + 4.0,
+            y + 9.0,
+            escape(&r.rule)
+        );
+    }
+    html.push_str(
+        "</svg><figcaption>health timeline — each bar spans a finding's evidence \
+         window (orange = warn, red = critical)</figcaption></figure>\n",
+    );
+    html.push_str(
+        "<table>\n<tr><th>#</th><th class=\"l\">rule</th><th class=\"l\">severity</th>\
+         <th>iter</th><th>window</th><th class=\"l\">finding</th></tr>\n",
+    );
+    for (rank, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            html,
+            "<tr><td>{}</td><td class=\"l\">{}</td><td class=\"l\">{}</td><td>{}</td>\
+             <td>{}–{}</td><td class=\"l\">{}</td></tr>",
+            rank + 1,
+            escape(&r.rule),
+            escape(&r.severity),
+            r.iter,
+            r.window_start,
+            r.window_end,
+            escape(&r.message),
+        );
+    }
+    html.push_str("</table>\n");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // helpers
 // ---------------------------------------------------------------------------
 
@@ -742,6 +878,7 @@ mod tests {
             snapshots: Some(snaps),
             trace: Some(trace.to_string()),
             profile: None,
+            health: None,
         }
     }
 
@@ -786,6 +923,31 @@ mod tests {
         assert!(with.contains("<h2>Sampling profile</h2>"));
         assert!(with.contains("route;train;backward"));
         assert!(with.contains("Hot frames"));
+    }
+
+    #[test]
+    fn health_section_renders_only_when_supplied() {
+        let without = render_report(&tiny_inputs()).unwrap();
+        assert!(!without.contains("Convergence health"));
+        // findings render the band and the ranked table
+        let mut inputs = tiny_inputs();
+        inputs.health = Some(
+            "{\"rule\":\"divergence\",\"severity\":\"critical\",\"score\":2.5,\"iter\":40,\
+             \"message\":\"loss 2.5x its minimum\",\"window_start\":20,\"window_end\":40,\
+             \"window_values\":[1,2,4]}\n"
+                .into(),
+        );
+        let with = render_report(&inputs).unwrap();
+        assert!(with.contains("<h2>Convergence health</h2>"));
+        assert!(with.contains("class=\"healthband\""));
+        assert!(with.contains("divergence"));
+        assert!(with.contains("20–40"));
+        assert!(!with.contains("<script"));
+        // an empty (healthy) timeline renders the all-clear note
+        let mut inputs = tiny_inputs();
+        inputs.health = Some(String::new());
+        let ok = render_report(&inputs).unwrap();
+        assert!(ok.contains("All sentinel rules passed"));
     }
 
     #[test]

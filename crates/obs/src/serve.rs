@@ -12,6 +12,9 @@
 //!   plus one row per registered status scope on multi-job daemons,
 //! * `GET /report` — the standard HTML post-mortem rendered from the
 //!   live telemetry ring and span registry *mid-run*,
+//! * `GET /health` — the sentinel convergence-health verdicts as JSON
+//!   ([`crate::sentinel::health_json`]): overall verdict plus one row
+//!   per live scope with its ranked findings,
 //! * `GET /` — a plain-text index of the above.
 //!
 //! The server is deliberately minimal: `Connection: close` on every
@@ -366,9 +369,14 @@ fn route(path: &str) -> HttpResponse {
             HttpResponse::json(200, body)
         }
         "/report" => HttpResponse::html(200, live_report()),
+        "/health" => {
+            let mut body = crate::sentinel::health_json();
+            body.push('\n');
+            HttpResponse::json(200, body)
+        }
         "/" => HttpResponse::text(
             200,
-            "dgr observatory\n\n/metrics  Prometheus text exposition\n/status   live run status (JSON)\n/report   HTML post-mortem of the run so far\n",
+            "dgr observatory\n\n/metrics  Prometheus text exposition\n/status   live run status (JSON)\n/report   HTML post-mortem of the run so far\n/health   sentinel convergence-health verdicts (JSON)\n",
         ),
         _ => HttpResponse::error(404, &format!("no such endpoint: {path}")),
     }
@@ -386,12 +394,16 @@ fn live_report() -> String {
     } else {
         format!("{} (live)", status.job)
     };
+    let scope = crate::status::status_scope_id();
+    let health =
+        crate::sentinel::health_of(scope).map(|_| crate::sentinel::health_timeline_jsonl_of(scope));
     let inputs = crate::report::ReportInputs {
         title,
         telemetry: (!telemetry.is_empty()).then_some(telemetry),
         snapshots: None,
         trace: (trace != "[]").then_some(trace),
         profile: None,
+        health,
     };
     crate::report::render_report(&inputs).unwrap_or_else(|e| {
         format!("<!DOCTYPE html>\n<html><body><p>report error: {e}</p></body></html>\n")
@@ -472,6 +484,10 @@ mod tests {
         let (status, body) = get(addr, "/report");
         assert_eq!(status, 200);
         assert!(body.contains("<html"), "{body}");
+
+        let (status, body) = get(addr, "/health");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"verdict\""), "{body}");
 
         let (status, body) = get(addr, "/nope");
         assert_eq!(status, 404);

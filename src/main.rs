@@ -68,6 +68,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("doctor") => cmd_doctor(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
         Some("serve-jobs") => cmd_serve_jobs(&args[1..]),
         Some("--help") | Some("-h") | None => {
@@ -112,8 +113,13 @@ fn print_usage() {
     println!("  dgr history [--limit N] [--ledger path]");
     println!("      render recent ledger records as a table with cross-run deltas");
     println!("  dgr report [--telemetry in.jsonl] [--snap in.snaps] [--trace in.json]");
-    println!("             [--profile in.folded] [--title NAME] [--out report.html]");
+    println!("             [--profile in.folded] [--health in.jsonl] [--title NAME]");
+    println!("             [--out report.html]");
     println!("      render routing-run artifacts into a self-contained HTML post-mortem");
+    println!("  dgr doctor [--telemetry in.jsonl] [--ledger [path]]");
+    println!("      replay a run's telemetry (and/or the run ledger) through the");
+    println!("      sentinel convergence rules; print ranked findings with evidence");
+    println!("      windows, exit nonzero when any rule trips");
     println!("  dgr serve-jobs <addr> [--workers N] [--queue-cap N] [--retain N]");
     println!("             [--no-ledger]");
     println!("      run dgrd: a multi-tenant routing job server (POST /jobs, ");
@@ -457,6 +463,8 @@ fn append_ledger(args: &[String], outcome: &RunOutcome<'_>) {
         cache_hits,
         cache_misses,
         phases,
+        health: dgr::obs::enabled()
+            .then(|| dgr::obs::health_summary_of(dgr::obs::status_scope_id())),
     };
     if let Some(path) = ledger::append(&record) {
         println!("  ledger           : appended → {}", path.display());
@@ -740,14 +748,17 @@ fn cmd_report(args: &[String]) -> CliResult {
         snapshots: read_opt("--snap")?,
         trace: read_opt("--trace")?,
         profile: read_opt("--profile")?,
+        health: read_opt("--health")?,
     };
     if inputs.telemetry.is_none()
         && inputs.snapshots.is_none()
         && inputs.trace.is_none()
         && inputs.profile.is_none()
+        && inputs.health.is_none()
     {
         return Err(
-            "report needs at least one of --telemetry / --snap / --trace / --profile".into(),
+            "report needs at least one of --telemetry / --snap / --trace / --profile / --health"
+                .into(),
         );
     }
     let html = render_report(&inputs)?;
@@ -755,6 +766,73 @@ fn cmd_report(args: &[String]) -> CliResult {
     std::fs::write(out, &html)?;
     println!("report → {out} ({} bytes)", html.len());
     Ok(())
+}
+
+/// `dgr doctor`: offline convergence triage. Replays a telemetry JSONL
+/// file through the sentinel rule engine (and/or checks the newest
+/// ledger record's iteration rate against its last comparable run) and
+/// prints ranked findings with their evidence windows. Exits nonzero
+/// when anything trips, so CI can gate on it.
+fn cmd_doctor(args: &[String]) -> CliResult {
+    let telemetry = flag_value(args, "--telemetry");
+    let use_ledger = args.iter().any(|a| a == "--ledger");
+    if telemetry.is_none() && !use_ledger {
+        return Err("doctor needs --telemetry <in.jsonl> and/or --ledger [path]".into());
+    }
+
+    let mut findings = Vec::new();
+    if let Some(path) = telemetry {
+        let text = std::fs::read_to_string(path)?;
+        let rows = dgr::obs::rows_from_jsonl(&text)
+            .map_err(|(line, e)| format!("{path}: line {line}: {e}"))?;
+        println!("doctor: {} telemetry row(s) from {path}", rows.len());
+        findings.extend(dgr::obs::analyze_rows(&rows));
+    }
+    if use_ledger {
+        let path = resolve_ledger_path(args)?;
+        let records = ledger::load(&path);
+        println!(
+            "doctor: {} ledger record(s) from {}",
+            records.len(),
+            path.display()
+        );
+        if let Some((prev, last)) = last_comparable_pair(&records) {
+            findings.extend(dgr::obs::rate_collapse_finding(
+                last.it_per_s,
+                prev.it_per_s,
+            ));
+        }
+    }
+    dgr::obs::rank_findings(&mut findings);
+
+    if findings.is_empty() {
+        println!("doctor: no findings — the run looks healthy");
+        return Ok(());
+    }
+    println!();
+    for (i, f) in findings.iter().enumerate() {
+        println!(
+            "{:>3}. [{}] {} @ iteration {} — {}",
+            i + 1,
+            f.severity.as_str(),
+            f.rule,
+            f.iter,
+            f.message
+        );
+        if let (Some((lo, first)), Some((hi, last))) = (f.evidence.first(), f.evidence.last()) {
+            println!(
+                "     evidence: iterations {lo}..{hi} ({} samples, {first:.4} -> {last:.4})",
+                f.evidence.len()
+            );
+        }
+    }
+    println!();
+    Err(format!(
+        "{} health finding(s); worst verdict: {}",
+        findings.len(),
+        dgr::obs::verdict_of(&findings).as_str()
+    )
+    .into())
 }
 
 /// `dgr history`: render the persistent run ledger as a table, newest

@@ -241,6 +241,77 @@ fn cancellation_mid_run_leaves_the_queue_healthy() {
     daemon.stop();
 }
 
+/// A `deadline_ms=1` job is killed by the sentinel watchdog and reported
+/// as a structured *failure* (not a cancellation — no client asked for
+/// one), `/health` surfaces it as a critical row next to the healthy
+/// job's ok row, and the queue keeps serving afterwards.
+#[test]
+fn watchdog_kills_slo_breaching_jobs_and_health_reports_them() {
+    let daemon = boot(DaemonConfig {
+        workers: 1,
+        ..DaemonConfig::default()
+    });
+    let addr = daemon.local_addr();
+    let text = dgr::io::write_design(&small_design(31));
+    let escaped = text
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+
+    let breaching = submit_job(
+        addr,
+        &format!(
+            r#"{{"design_text":"{escaped}","label":"breach","tenant":"e2e","iterations":500000,"seed":1,"deadline_ms":1}}"#
+        ),
+    );
+    let job = wait_state(addr, breaching, "failed", Duration::from_secs(120));
+    let error = job
+        .str("error")
+        .expect("failed job has an error")
+        .to_string();
+    assert!(
+        error.starts_with("watchdog: ") && error.contains("deadline_ms=1"),
+        "error: {error}"
+    );
+    assert_eq!(
+        job.get("cancel_requested")
+            .map(|v| matches!(v, JsonValue::Bool(false))),
+        Some(true),
+        "the watchdog, not a client, stopped the run"
+    );
+    assert!(job.get("result").is_none());
+
+    // the breach left the queue healthy: the next job runs to done
+    let healthy = submit_job(addr, &inline_spec(&text, "healthy", 10, 2));
+    wait_state(addr, healthy, "done", Duration::from_secs(120));
+
+    // /health joins both outcomes: overall critical, one critical row
+    // (watchdog-failed) and one ok row
+    let resp = get(addr, "/health");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let health = resp.json();
+    assert_eq!(health.str("verdict"), Some("critical"), "{}", resp.body);
+    let rows = match health.get("rows") {
+        Some(JsonValue::Arr(rows)) => rows,
+        other => panic!("rows: {other:?}"),
+    };
+    let row_of = |id: u64| {
+        rows.iter()
+            .find(|r| r.get("id").and_then(JsonValue::as_u64) == Some(id))
+            .unwrap_or_else(|| panic!("no /health row for job {id}: {}", resp.body))
+    };
+    let breach_row = row_of(breaching);
+    assert_eq!(breach_row.str("verdict"), Some("critical"), "{}", resp.body);
+    assert!(breach_row
+        .str("error")
+        .is_some_and(|e| e.starts_with("watchdog: ")));
+    let healthy_row = row_of(healthy);
+    assert_eq!(healthy_row.str("verdict"), Some("ok"), "{}", resp.body);
+    assert_eq!(healthy_row.str("state"), Some("done"));
+
+    daemon.stop();
+}
+
 /// The `dgr serve-jobs` binary boots, prints its address banner, serves
 /// a catalog job end to end, and dies cleanly.
 #[test]

@@ -66,6 +66,7 @@ fn report_html() -> String {
         snapshots: Some(snap.sink.memory_contents().expect("in-memory").to_string()),
         trace: None,
         profile: None,
+        health: None,
     };
     render_report(&inputs).expect("report renders")
 }
